@@ -1,0 +1,28 @@
+//! # spade-baselines
+//!
+//! Baseline accelerator and platform models the paper compares SPADE against:
+//!
+//! * [`dense_acc`] — DenseAcc, the ideal dense systolic accelerator (same PE
+//!   array and buffers as SPADE, no sparsity support).
+//! * [`spconv2d_acc`] — a conventional element-sparse Conv2D accelerator
+//!   (output-stationary outer-product style) whose utilisation collapses and
+//!   bank conflicts grow under vector sparsity (Fig. 2(a–b)).
+//! * [`pointacc`] — a PointAcc-style point-cloud accelerator: bitonic
+//!   merge-sort rule generation plus cache-based gather/scatter (Fig. 14–15).
+//! * [`platform`] — analytic CPU/GPU/Jetson platform models running the dense
+//!   networks with cuDNN-style dense convolution and the sparse networks with
+//!   the SpConv library (hash-table mapping), reproducing the latency
+//!   breakdowns of Fig. 2(c) and Fig. 11(a–b).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense_acc;
+pub mod platform;
+pub mod pointacc;
+pub mod spconv2d_acc;
+
+pub use dense_acc::DenseAccelerator;
+pub use platform::{Platform, PlatformKind, PlatformLatency};
+pub use pointacc::PointAccModel;
+pub use spconv2d_acc::SpConv2dAccelerator;

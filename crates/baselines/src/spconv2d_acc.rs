@@ -1,0 +1,144 @@
+//! Conventional element-sparse Conv2D accelerator (SpConv2D-Acc).
+//!
+//! These accelerators (SCNN-style outer-product, output-stationary) handle
+//! *element-wise* activation sparsity well, but under the *vector* sparsity of
+//! pillars they suffer two compounding problems (Sec. II-C, Fig. 2(a–b)):
+//!
+//! 1. **Underutilisation** — the condensed matrix of non-zero elements does
+//!    not fill the PE rows because whole channel vectors are missing.
+//! 2. **Bank conflicts** — partial sums of different output coordinates
+//!    collide in the multi-banked output buffer, and the collision rate grows
+//!    as the condensed indices become more irregular with sparsity.
+
+use serde::{Deserialize, Serialize};
+
+/// The utilisation / bank-conflict model of a conventional sparse accelerator
+/// processing vector-sparse pillars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpConv2dAccelerator {
+    /// PE array rows.
+    pub pe_rows: usize,
+    /// PE array columns.
+    pub pe_cols: usize,
+    /// Number of output-buffer banks.
+    pub output_banks: usize,
+}
+
+/// Modelled behaviour of SpConv2D-Acc at one sparsity point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpConv2dBehaviour {
+    /// Fraction of PE slots doing useful work.
+    pub utilization: f64,
+    /// Fraction of partial-sum writebacks that collide on a bank.
+    pub bank_conflict_rate: f64,
+    /// Effective throughput relative to the dense peak.
+    pub effective_throughput: f64,
+}
+
+impl Default for SpConv2dAccelerator {
+    fn default() -> Self {
+        Self {
+            pe_rows: 64,
+            pe_cols: 64,
+            output_banks: 16,
+        }
+    }
+}
+
+impl SpConv2dAccelerator {
+    /// Creates a model with the given array and banking.
+    #[must_use]
+    pub fn new(pe_rows: usize, pe_cols: usize, output_banks: usize) -> Self {
+        Self {
+            pe_rows,
+            pe_cols,
+            output_banks,
+        }
+    }
+
+    /// Models utilisation and bank conflicts at a given computation sparsity
+    /// (fraction of pillar vectors that are zero, in `[0, 1)`).
+    ///
+    /// At low sparsity the condensed matrix still fills the array and output
+    /// indices stay regular; as sparsity grows, whole rows go idle
+    /// (utilisation falls towards the active fraction) and scattered output
+    /// coordinates make bank collisions increasingly likely.
+    #[must_use]
+    pub fn behaviour(&self, sparsity: f64) -> SpConv2dBehaviour {
+        let s = sparsity.clamp(0.0, 0.999);
+        let density = 1.0 - s;
+        // Rows are occupied in proportion to the active fraction of the
+        // condensed matrix, with a floor from im2col packing.
+        let utilization = (0.95 * (density + 0.08 * s)).clamp(0.05, 0.95);
+        // Birthday-style collision probability among the irregular output
+        // indices drained concurrently each cycle.
+        let concurrent = (self.pe_cols as f64 / 8.0).clamp(2.0, 16.0);
+        let spread = (self.output_banks as f64) * (0.2 + 0.8 * density);
+        let bank_conflict_rate = (1.0 - (-concurrent / spread).exp()).clamp(0.0, 0.95);
+        let effective_throughput =
+            utilization * (1.0 - 0.6 * bank_conflict_rate);
+        SpConv2dBehaviour {
+            utilization,
+            bank_conflict_rate,
+            effective_throughput,
+        }
+    }
+
+    /// Sweeps sparsity and returns `(sparsity, behaviour)` pairs — the data
+    /// series of Fig. 2(b).
+    #[must_use]
+    pub fn sweep(&self, points: usize) -> Vec<(f64, SpConv2dBehaviour)> {
+        (0..points)
+            .map(|i| {
+                let s = i as f64 / points as f64 * 0.95;
+                (s, self.behaviour(s))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_degrades_with_sparsity() {
+        let acc = SpConv2dAccelerator::default();
+        let low = acc.behaviour(0.1);
+        let high = acc.behaviour(0.9);
+        assert!(low.utilization > high.utilization);
+        assert!(high.utilization < 0.5);
+    }
+
+    #[test]
+    fn bank_conflicts_grow_with_sparsity() {
+        let acc = SpConv2dAccelerator::default();
+        let low = acc.behaviour(0.1);
+        let high = acc.behaviour(0.9);
+        assert!(high.bank_conflict_rate > low.bank_conflict_rate);
+    }
+
+    #[test]
+    fn effective_throughput_collapses_at_high_sparsity() {
+        let acc = SpConv2dAccelerator::default();
+        assert!(acc.behaviour(0.95).effective_throughput < 0.3);
+        assert!(acc.behaviour(0.0).effective_throughput > 0.6);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_utilization() {
+        let acc = SpConv2dAccelerator::default();
+        let sweep = acc.sweep(20);
+        assert_eq!(sweep.len(), 20);
+        for w in sweep.windows(2) {
+            assert!(w[1].1.utilization <= w[0].1.utilization + 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_banks_reduce_conflicts() {
+        let few = SpConv2dAccelerator::new(64, 64, 8).behaviour(0.8);
+        let many = SpConv2dAccelerator::new(64, 64, 64).behaviour(0.8);
+        assert!(many.bank_conflict_rate < few.bank_conflict_rate);
+    }
+}

@@ -1,0 +1,17 @@
+//! Regenerates Fig. 12 and benchmarks a representative reduced-scale model run.
+use criterion::{criterion_group, criterion_main, Criterion};
+use spade_bench::{run_experiment, workload, WorkloadScale};
+use spade_nn::ModelKind;
+
+fn bench(c: &mut Criterion) {
+    let out = run_experiment("fig12", WorkloadScale::Reduced).expect("known experiment id");
+    println!("{out}");
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("model_run_spp2_reduced", |b| {
+        b.iter(|| workload::model_run(ModelKind::Spp2, 7, WorkloadScale::Reduced))
+    });
+    group.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

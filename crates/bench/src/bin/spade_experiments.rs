@@ -1,0 +1,36 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! spade-experiments              # run every experiment at full scale
+//! spade-experiments table1 fig09 # run selected experiments
+//! spade-experiments --reduced    # quarter-scale grids (fast smoke run)
+//! ```
+
+use spade_bench::{run_experiment, WorkloadScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--reduced") {
+        WorkloadScale::Reduced
+    } else {
+        WorkloadScale::Full
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids = if selected.is_empty() {
+        spade_bench::experiments::all_experiment_ids()
+    } else {
+        selected
+    };
+    for id in ids {
+        match run_experiment(id, scale) {
+            Some(out) => println!("\n=== {id} ===\n{out}"),
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+}

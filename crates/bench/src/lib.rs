@@ -1,0 +1,15 @@
+//! # spade-bench
+//!
+//! The experiment harness of the SPADE reproduction: one function per table
+//! and figure of the paper's evaluation, all driven by the synthetic KITTI-
+//! like / nuScenes-like workloads. The `spade-experiments` binary and the
+//! Criterion benches print the same series.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workload;
+
+pub use experiments::run_experiment;
+pub use workload::{model_run, ModelRun, WorkloadScale};

@@ -1,0 +1,152 @@
+//! SPADE accelerator configurations (high-end and low-end).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware configuration of a SPADE instance.
+///
+/// The paper evaluates two design points: a high-end 64×64 MXU (8 TOPS at
+/// 1 GHz) and a low-end 16×16 MXU (512 GOPS).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpadeConfig {
+    /// PE array rows (input-channel dimension).
+    pub pe_rows: usize,
+    /// PE array columns (output-channel dimension).
+    pub pe_cols: usize,
+    /// Clock frequency (GHz).
+    pub freq_ghz: f64,
+    /// Input activation buffer capacity (KiB).
+    pub buf_in_kib: u64,
+    /// Output/partial-sum buffer capacity (KiB).
+    pub buf_out_kib: u64,
+    /// Weight buffer capacity (KiB).
+    pub buf_wgt_kib: u64,
+    /// Rule buffer capacity (KiB).
+    pub rule_buf_kib: u64,
+    /// DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+}
+
+impl SpadeConfig {
+    /// The high-end configuration: 64×64 PE array, 8 TOPS at 1 GHz.
+    #[must_use]
+    pub fn high_end() -> Self {
+        Self {
+            pe_rows: 64,
+            pe_cols: 64,
+            freq_ghz: 1.0,
+            buf_in_kib: 128,
+            buf_out_kib: 256,
+            buf_wgt_kib: 64,
+            rule_buf_kib: 32,
+            dram_bytes_per_cycle: 25.6,
+        }
+    }
+
+    /// The low-end configuration: 16×16 PE array, 512 GOPS at 1 GHz.
+    #[must_use]
+    pub fn low_end() -> Self {
+        Self {
+            pe_rows: 16,
+            pe_cols: 16,
+            freq_ghz: 1.0,
+            buf_in_kib: 32,
+            buf_out_kib: 64,
+            buf_wgt_kib: 32,
+            rule_buf_kib: 16,
+            dram_bytes_per_cycle: 12.8,
+        }
+    }
+
+    /// Number of processing elements.
+    #[must_use]
+    pub const fn num_pes(&self) -> usize {
+        self.pe_rows * self.pe_cols
+    }
+
+    /// Peak throughput in GOPS (two operations per MAC per cycle).
+    #[must_use]
+    pub fn peak_gops(&self) -> f64 {
+        2.0 * self.num_pes() as f64 * self.freq_ghz
+    }
+
+    /// Total on-chip SRAM capacity (KiB).
+    #[must_use]
+    pub const fn total_sram_kib(&self) -> u64 {
+        self.buf_in_kib + self.buf_out_kib + self.buf_wgt_kib + self.rule_buf_kib
+    }
+}
+
+/// Dataflow optimisation switches (Sec. III-D2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataflowOptions {
+    /// Weight grouping for strided sparse convolution (Fig. 8(a)).
+    pub weight_grouping: bool,
+    /// Ganged scatter for sparse deconvolution (Fig. 8(b)).
+    pub ganged_scatter: bool,
+    /// Adaptive active-tile sizing in the GSU.
+    pub adaptive_tiling: bool,
+}
+
+impl Default for DataflowOptions {
+    fn default() -> Self {
+        Self::all_enabled()
+    }
+}
+
+impl DataflowOptions {
+    /// All optimisations enabled (the SPADE design point).
+    #[must_use]
+    pub const fn all_enabled() -> Self {
+        Self {
+            weight_grouping: true,
+            ganged_scatter: true,
+            adaptive_tiling: true,
+        }
+    }
+
+    /// All optimisations disabled (the ablation baseline of Fig. 8(c) and
+    /// Fig. 11(d)).
+    #[must_use]
+    pub const fn all_disabled() -> Self {
+        Self {
+            weight_grouping: false,
+            ganged_scatter: false,
+            adaptive_tiling: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_end_is_8_tops() {
+        let c = SpadeConfig::high_end();
+        assert_eq!(c.num_pes(), 4096);
+        assert!((c.peak_gops() - 8192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_end_is_512_gops() {
+        let c = SpadeConfig::low_end();
+        assert_eq!(c.num_pes(), 256);
+        assert!((c.peak_gops() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_total_sums_buffers() {
+        let c = SpadeConfig::high_end();
+        assert_eq!(
+            c.total_sram_kib(),
+            c.buf_in_kib + c.buf_out_kib + c.buf_wgt_kib + c.rule_buf_kib
+        );
+    }
+
+    #[test]
+    fn option_presets() {
+        assert!(DataflowOptions::all_enabled().weight_grouping);
+        assert!(!DataflowOptions::all_disabled().ganged_scatter);
+        assert_eq!(DataflowOptions::default(), DataflowOptions::all_enabled());
+    }
+}

@@ -1,0 +1,237 @@
+//! The configurable seven-instruction dataflow and its cycle model.
+//!
+//! SPADE executes a layer as a sequence of `RuleGen`, `Gather_inp`,
+//! `Gather_wgt`, `Load_wgt`, `MXU`, `Copy_psum`, and `Scatter_out`
+//! instructions (Fig. 7). `RuleGen` and the gathers are double-buffered and
+//! hide behind MXU computation after the first tile; `Load_wgt` and
+//! `Copy_psum` cannot overlap computation and are the utilisation-limiting
+//! overheads that the weight-grouping and ganged-scatter optimisations attack
+//! (Fig. 8).
+
+use crate::config::{DataflowOptions, SpadeConfig};
+use crate::gsu::{ActiveTileManager, TilePlan};
+use crate::rgu::RuleGenerationUnit;
+use serde::{Deserialize, Serialize};
+use spade_nn::graph::LayerWorkload;
+use spade_nn::ConvKind;
+
+/// Per-layer performance result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerPerf {
+    /// Layer name.
+    pub name: String,
+    /// Convolution kind.
+    pub kind: ConvKind,
+    /// MXU (compute) cycles.
+    pub mxu_cycles: u64,
+    /// Exposed weight-load cycles.
+    pub load_wgt_cycles: u64,
+    /// Exposed partial-sum copy cycles.
+    pub copy_psum_cycles: u64,
+    /// Exposed scatter cycles (non-zero only when scatter cannot hide).
+    pub scatter_cycles: u64,
+    /// Exposed rule-generation cycles (first tile only; the rest is hidden).
+    pub rulegen_cycles: u64,
+    /// Total cycles including memory-bound stalls.
+    pub total_cycles: u64,
+    /// Multiply-accumulates actually executed.
+    pub macs: u64,
+    /// DRAM bytes moved (inputs + weights + outputs).
+    pub dram_bytes: u64,
+    /// SRAM bytes moved.
+    pub sram_bytes: u64,
+    /// The tile plan used.
+    pub tiles: TilePlan,
+}
+
+impl LayerPerf {
+    /// MXU utilisation: useful MACs over the MAC slots available during the
+    /// layer's execution.
+    #[must_use]
+    pub fn mxu_utilization(&self, config: &SpadeConfig) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.macs as f64 / (self.total_cycles as f64 * config.num_pes() as f64)
+    }
+}
+
+/// Schedules one layer on SPADE and returns its performance.
+#[must_use]
+pub fn schedule_layer(
+    workload: &LayerWorkload,
+    config: &SpadeConfig,
+    opts: &DataflowOptions,
+) -> LayerPerf {
+    let spec = &workload.spec;
+    let a = workload.input_coords.len().max(1) as u64;
+    let q = workload.output_coords.len().max(1) as u64;
+    let r = workload.rules.max(1);
+    let c = spec.in_channels as u64;
+    let m = spec.out_channels as u64;
+    let k = spec.kernel.num_taps() as u64;
+
+    let atm = ActiveTileManager::new(config.buf_in_kib, config.buf_out_kib);
+    let mut tiles = atm.plan(workload);
+    if !opts.adaptive_tiling {
+        // Fixed conservative tile (half the buffer) when adaptive sizing is
+        // disabled.
+        tiles.input_tile = (tiles.input_tile / 2).max(1);
+        tiles.num_tiles = (a as usize).div_ceil(tiles.input_tile);
+    }
+
+    // How effectively a gathered input tile is reused by the loaded weights.
+    // Strided convolution without weight grouping and deconvolution without
+    // ganged scatter both waste most of the gathered tile (Fig. 8).
+    let reuse_eff = match spec.kind {
+        ConvKind::SpStConv if !opts.weight_grouping => 0.30,
+        ConvKind::SpStConv => 0.95,
+        ConvKind::SpDeconv if !opts.ganged_scatter => 0.30,
+        ConvKind::SpDeconv => 0.95,
+        _ => 1.0,
+    };
+    let effective_tiles = ((tiles.num_tiles as f64) / reuse_eff).ceil() as u64;
+
+    let ch_tiles_in = (c as usize).div_ceil(config.pe_rows) as u64;
+    let ch_tiles_out = (m as usize).div_ceil(config.pe_cols) as u64;
+    let ch_tiles = ch_tiles_in * ch_tiles_out;
+
+    // Compute: each rule streams one pillar through the array per channel tile.
+    let mxu_cycles = r * ch_tiles;
+    // Weight loads: one per tap per channel tile per (effective) input tile,
+    // each taking pe_rows cycles to fill the local register files.
+    let load_wgt_cycles = k * ch_tiles * effective_tiles * config.pe_rows as u64;
+    // Partial-sum copies between consecutive overlapping input tiles.
+    let copy_psum_cycles = if matches!(spec.kind, ConvKind::SpDeconv) {
+        0
+    } else {
+        (effective_tiles.saturating_sub(1)) * config.pe_cols as u64
+    };
+    // Scatter is double-buffered; it only becomes exposed for deconvolution
+    // without ganged scatter, where every kernel's outputs are flushed densely.
+    let scatter_cycles = if matches!(spec.kind, ConvKind::SpDeconv) && !opts.ganged_scatter {
+        q * ch_tiles_out / 4
+    } else {
+        0
+    };
+    // Rule generation overlaps computation after the first tile.
+    let rgu = RuleGenerationUnit::new();
+    let rulegen_total = rgu.cycles_for(a as usize, q as usize, r);
+    let rulegen_cycles = (rulegen_total / tiles.num_tiles.max(1) as u64).max(16);
+
+    let compute_cycles =
+        mxu_cycles + load_wgt_cycles + copy_psum_cycles + scatter_cycles + rulegen_cycles;
+
+    // DRAM traffic: thanks to the ATM every input, weight, and output element
+    // moves exactly once; the interface can bound throughput for thin layers.
+    let dram_bytes = tiles.input_bytes + tiles.weight_bytes + tiles.output_bytes;
+    let dram_cycles = (dram_bytes as f64 / config.dram_bytes_per_cycle).ceil() as u64;
+
+    let total_cycles = compute_cycles.max(dram_cycles);
+    let macs = r * c * m;
+    // SRAM: read the input vector per rule, update int32 partial sums per
+    // rule, plus tile fills and drains.
+    let sram_bytes = r * (c + 4 * m) + a * c + q * m;
+
+    LayerPerf {
+        name: spec.name.clone(),
+        kind: spec.kind,
+        mxu_cycles,
+        load_wgt_cycles,
+        copy_psum_cycles,
+        scatter_cycles,
+        rulegen_cycles,
+        total_cycles,
+        macs,
+        dram_bytes,
+        sram_bytes,
+        tiles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_nn::LayerSpec;
+    use spade_tensor::{GridShape, PillarCoord};
+
+    fn workload(kind: ConvKind, active: usize, channels: usize) -> LayerWorkload {
+        let grid = GridShape::new(256, 256);
+        // Clustered pillars (adjacent columns), as LiDAR object returns are.
+        let coords: Vec<PillarCoord> = (0..active)
+            .map(|i| PillarCoord::new((i / 128) as u32, (i % 128) as u32))
+            .collect();
+        let spec = LayerSpec::new("L", kind, channels, channels);
+        let out_grid = spec.output_grid(grid);
+        let out_coords: Vec<PillarCoord> = coords
+            .iter()
+            .filter(|c| c.in_bounds(out_grid))
+            .copied()
+            .collect();
+        let rules = spade_nn::graph::count_rules(&coords, grid, out_grid, kind, spec.kernel);
+        LayerWorkload {
+            spec,
+            stage: 1,
+            input_grid: grid,
+            input_coords: coords,
+            output_grid: out_grid,
+            output_coords: out_coords,
+            rules,
+        }
+    }
+
+    #[test]
+    fn spconv_utilization_is_high() {
+        let w = workload(ConvKind::SpConvS, 8_000, 64);
+        let cfg = SpadeConfig::high_end();
+        let perf = schedule_layer(&w, &cfg, &DataflowOptions::all_enabled());
+        let util = perf.mxu_utilization(&cfg);
+        assert!(util > 0.85, "utilization {util}");
+    }
+
+    #[test]
+    fn weight_grouping_improves_strided_utilization() {
+        let w = workload(ConvKind::SpStConv, 8_000, 64);
+        let cfg = SpadeConfig::high_end();
+        let base = schedule_layer(&w, &cfg, &DataflowOptions::all_disabled());
+        let opt = schedule_layer(&w, &cfg, &DataflowOptions::all_enabled());
+        assert!(opt.total_cycles < base.total_cycles);
+        assert!(opt.load_wgt_cycles < base.load_wgt_cycles);
+    }
+
+    #[test]
+    fn ganged_scatter_removes_exposed_scatter() {
+        let w = workload(ConvKind::SpDeconv, 4_000, 64);
+        let cfg = SpadeConfig::high_end();
+        let base = schedule_layer(&w, &cfg, &DataflowOptions::all_disabled());
+        let opt = schedule_layer(&w, &cfg, &DataflowOptions::all_enabled());
+        assert!(base.scatter_cycles > 0);
+        assert_eq!(opt.scatter_cycles, 0);
+        assert!(opt.total_cycles < base.total_cycles);
+    }
+
+    #[test]
+    fn cycles_scale_with_work() {
+        let cfg = SpadeConfig::high_end();
+        let small = schedule_layer(&workload(ConvKind::SpConv, 1_000, 64), &cfg, &DataflowOptions::all_enabled());
+        let large = schedule_layer(&workload(ConvKind::SpConv, 8_000, 64), &cfg, &DataflowOptions::all_enabled());
+        assert!(large.total_cycles > small.total_cycles * 4);
+        assert!(large.macs > small.macs * 4);
+    }
+
+    #[test]
+    fn low_end_is_slower_than_high_end() {
+        let w = workload(ConvKind::SpConv, 8_000, 64);
+        let he = schedule_layer(&w, &SpadeConfig::high_end(), &DataflowOptions::all_enabled());
+        let le = schedule_layer(&w, &SpadeConfig::low_end(), &DataflowOptions::all_enabled());
+        assert!(le.total_cycles > he.total_cycles);
+    }
+
+    #[test]
+    fn dram_traffic_counts_each_tensor_once() {
+        let w = workload(ConvKind::SpConvS, 2_000, 32);
+        let perf = schedule_layer(&w, &SpadeConfig::high_end(), &DataflowOptions::all_enabled());
+        let expected = 2_000 * 32 + 9 * 32 * 32 + w.output_coords.len() as u64 * 32;
+        assert_eq!(perf.dram_bytes, expected);
+    }
+}

@@ -1,0 +1,157 @@
+//! PointNet-lite pillar feature encoder.
+//!
+//! PointPillars encodes each pillar's points with a small per-point MLP
+//! followed by max pooling (a simplified PointNet). The encoder here keeps
+//! that structure — 9 augmented per-point features, one linear layer, ReLU,
+//! max pool — with seeded weights, and reports its operation count so the
+//! encoder contributes to whole-network GOPs like in the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spade_pointcloud::pillarize::{PillarizationConfig, PillarizedCloud};
+use spade_tensor::{CprBuilder, CprTensor};
+
+/// Number of augmented per-point input features:
+/// `x, y, z, intensity, dx_mean, dy_mean, dz_mean, dx_centre, dy_centre`.
+pub const POINT_FEATURES: usize = 9;
+
+/// The pillar feature encoder.
+///
+/// # Example
+///
+/// ```
+/// use spade_nn::encoder::PillarEncoder;
+/// let enc = PillarEncoder::new(64, 0);
+/// assert_eq!(enc.out_channels(), 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PillarEncoder {
+    out_channels: usize,
+    /// Linear layer weights, `[out_channels][POINT_FEATURES]`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl PillarEncoder {
+    /// Creates an encoder with seeded weights.
+    #[must_use]
+    pub fn new(out_channels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00e_c0de);
+        let weights = (0..out_channels * POINT_FEATURES)
+            .map(|_| rng.gen_range(-0.5f32..0.5))
+            .collect();
+        let bias = (0..out_channels).map(|_| rng.gen_range(-0.1f32..0.1)).collect();
+        Self {
+            out_channels,
+            weights,
+            bias,
+        }
+    }
+
+    /// Number of output channels per pillar.
+    #[must_use]
+    pub const fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Encodes a pillarised cloud into a CPR feature tensor.
+    #[must_use]
+    pub fn encode(&self, cloud: &PillarizedCloud, config: &PillarizationConfig) -> CprTensor {
+        let mut builder = CprBuilder::new(cloud.grid, self.out_channels);
+        for (coord, points) in cloud.active_coords.iter().zip(&cloud.points_per_pillar) {
+            // Pillar centre in world coordinates.
+            let cx = config.x_range.0 + (f64::from(coord.row) + 0.5) * config.pillar_size_x;
+            let cy = config.y_range.0 + (f64::from(coord.col) + 0.5) * config.pillar_size_y;
+            let mean_x: f64 = points.iter().map(|p| p.x).sum::<f64>() / points.len() as f64;
+            let mean_y: f64 = points.iter().map(|p| p.y).sum::<f64>() / points.len() as f64;
+            let mean_z: f64 = points.iter().map(|p| p.z).sum::<f64>() / points.len() as f64;
+            let mut pooled = vec![f32::NEG_INFINITY; self.out_channels];
+            for p in points {
+                let feat: [f32; POINT_FEATURES] = [
+                    p.x as f32,
+                    p.y as f32,
+                    p.z as f32,
+                    p.intensity as f32,
+                    (p.x - mean_x) as f32,
+                    (p.y - mean_y) as f32,
+                    (p.z - mean_z) as f32,
+                    (p.x - cx) as f32,
+                    (p.y - cy) as f32,
+                ];
+                for oc in 0..self.out_channels {
+                    let mut sum = self.bias[oc];
+                    for (i, f) in feat.iter().enumerate() {
+                        sum += f * self.weights[oc * POINT_FEATURES + i];
+                    }
+                    let activated = sum.max(0.0); // ReLU
+                    if activated > pooled[oc] {
+                        pooled[oc] = activated;
+                    }
+                }
+            }
+            builder
+                .push(*coord, pooled)
+                .expect("pillarised coordinates are already in CPR order");
+        }
+        builder.build()
+    }
+
+    /// Multiply-accumulate count for encoding a cloud (one MAC per weight per
+    /// point).
+    #[must_use]
+    pub fn macs(&self, cloud: &PillarizedCloud) -> u64 {
+        let points: usize = cloud.points_per_pillar.iter().map(Vec::len).sum();
+        (points * POINT_FEATURES * self.out_channels) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_pointcloud::pillarize::pillarize;
+    use spade_pointcloud::Point3;
+
+    fn sample_cloud() -> (PillarizedCloud, PillarizationConfig) {
+        let cfg = PillarizationConfig::kitti_like();
+        let pts = vec![
+            Point3::with_intensity(5.0, 5.0, 0.0, 0.5),
+            Point3::with_intensity(5.02, 5.01, 0.2, 0.4),
+            Point3::with_intensity(30.0, -10.0, -1.0, 0.7),
+        ];
+        (pillarize(&pts, &cfg), cfg)
+    }
+
+    #[test]
+    fn encode_produces_one_vector_per_active_pillar() {
+        let (cloud, cfg) = sample_cloud();
+        let enc = PillarEncoder::new(16, 3);
+        let t = enc.encode(&cloud, &cfg);
+        assert_eq!(t.num_active(), cloud.num_active());
+        assert_eq!(t.channels(), 16);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let (cloud, cfg) = sample_cloud();
+        let a = PillarEncoder::new(8, 5).encode(&cloud, &cfg);
+        let b = PillarEncoder::new(8, 5).encode(&cloud, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relu_makes_features_non_negative() {
+        let (cloud, cfg) = sample_cloud();
+        let t = PillarEncoder::new(8, 1).encode(&cloud, &cfg);
+        assert!(t.feature_data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn macs_scale_with_points_and_channels() {
+        let (cloud, _) = sample_cloud();
+        let small = PillarEncoder::new(8, 0).macs(&cloud);
+        let large = PillarEncoder::new(16, 0).macs(&cloud);
+        assert_eq!(large, small * 2);
+        assert_eq!(small, 3 * 9 * 8);
+    }
+}

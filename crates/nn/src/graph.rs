@@ -1,0 +1,639 @@
+//! Layer graphs and pattern-level network execution.
+//!
+//! Network-scale evaluation (Table I, Fig. 2, Fig. 9–12) does not need actual
+//! feature values — it needs, per layer, the set of active pillars, the number
+//! of input-output rules, and the operation counts. The executor in this
+//! module propagates active-coordinate sets through the layer graph (including
+//! dynamic pruning for SpConv-P layers), producing a [`NetworkTrace`] with
+//! per-layer statistics and a list of [`LayerWorkload`]s that the accelerator
+//! models consume.
+
+use crate::conv::{ConvKind, LayerSpec};
+use crate::pruning::{ImportanceModel, PruningConfig, VectorPruner};
+use serde::{Deserialize, Serialize};
+use spade_pointcloud::pillarize::PillarizationConfig;
+use spade_pointcloud::Scene;
+use spade_tensor::stats::iopr;
+use spade_tensor::{CprTensor, GridShape, PillarCoord};
+use std::collections::HashMap;
+
+/// Where a layer's input activations come from.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerInput {
+    /// The previous layer's output (or the encoder output for the first layer).
+    Previous,
+    /// The output of an earlier layer, by index.
+    Layer(usize),
+    /// The channel-wise concatenation of several earlier layers' outputs
+    /// (active set = union of their active sets; all must share a grid).
+    Union(Vec<usize>),
+}
+
+/// One layer in a network: its convolution spec, where its input comes from,
+/// which backbone stage it belongs to, and whether its input is densified
+/// first (the PointPillars pseudo-image path).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLayer {
+    /// The convolution specification.
+    pub spec: LayerSpec,
+    /// The input source.
+    pub input: LayerInput,
+    /// Backbone stage index (1-based; 0 for encoder-level layers).
+    pub stage: usize,
+    /// If `true`, the input active set is replaced by the full grid before the
+    /// layer executes (dense pseudo-image processing).
+    pub densify_input: bool,
+}
+
+/// A complete network specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Network name (e.g. "SPP2").
+    pub name: String,
+    /// Number of channels produced by the pillar feature encoder.
+    pub encoder_channels: usize,
+    /// The layers in execution order.
+    pub layers: Vec<NetworkLayer>,
+}
+
+impl NetworkSpec {
+    /// Number of layers.
+    #[must_use]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Per-layer execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTrace {
+    /// Layer name.
+    pub name: String,
+    /// Convolution kind.
+    pub kind: ConvKind,
+    /// Backbone stage.
+    pub stage: usize,
+    /// Input grid shape.
+    pub in_grid: GridShape,
+    /// Output grid shape.
+    pub out_grid: GridShape,
+    /// Active input pillars.
+    pub in_active: usize,
+    /// Active output pillars before pruning.
+    pub dilated_active: usize,
+    /// Active output pillars after pruning (equals `dilated_active` for
+    /// non-pruning layers).
+    pub out_active: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Number of input-output rules (kernel-tap pairs).
+    pub rules: u64,
+    /// Multiply-accumulates executed by this layer.
+    pub macs: u64,
+    /// Multiply-accumulates of the dense equivalent of this layer.
+    pub dense_macs: u64,
+    /// Input-output pillar ratio (Fig. 2(d–f)).
+    pub iopr: f64,
+}
+
+/// Whole-network execution trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkTrace {
+    /// Network name.
+    pub name: String,
+    /// Per-layer traces.
+    pub layers: Vec<LayerTrace>,
+    /// Encoder MACs (pillar feature encoder).
+    pub encoder_macs: u64,
+    /// Fraction of foreground (in-box) pillars retained after all pruning, if
+    /// a scene was supplied (drives the accuracy proxy).
+    pub foreground_coverage: Option<f64>,
+}
+
+impl NetworkTrace {
+    /// Total MACs including the encoder.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.encoder_macs + self.layers.iter().map(|l| l.macs).sum::<u64>()
+    }
+
+    /// Dense-equivalent MACs including the encoder.
+    #[must_use]
+    pub fn dense_macs(&self) -> u64 {
+        self.encoder_macs + self.layers.iter().map(|l| l.dense_macs).sum::<u64>()
+    }
+
+    /// Total giga-operations (2 ops per MAC), the paper's GOPs metric.
+    #[must_use]
+    pub fn total_gops(&self) -> f64 {
+        self.total_macs() as f64 * 2.0 / 1e9
+    }
+
+    /// Dense-equivalent giga-operations.
+    #[must_use]
+    pub fn dense_gops(&self) -> f64 {
+        self.dense_macs() as f64 * 2.0 / 1e9
+    }
+
+    /// Computation savings relative to the dense equivalent (Table I's
+    /// "Sparsity" column): `1 − ops / dense_ops`.
+    #[must_use]
+    pub fn computation_savings(&self) -> f64 {
+        1.0 - self.total_macs() as f64 / self.dense_macs().max(1) as f64
+    }
+}
+
+/// One layer's workload handed to the accelerator models: the concrete active
+/// input and output coordinate sets plus the layer spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWorkload {
+    /// The layer specification.
+    pub spec: LayerSpec,
+    /// Backbone stage index.
+    pub stage: usize,
+    /// Input grid shape.
+    pub input_grid: GridShape,
+    /// Active input coordinates (CPR order).
+    pub input_coords: Vec<PillarCoord>,
+    /// Output grid shape.
+    pub output_grid: GridShape,
+    /// Active output coordinates (CPR order, after pruning).
+    pub output_coords: Vec<PillarCoord>,
+    /// Number of input-output rules.
+    pub rules: u64,
+}
+
+/// Execution context: pruning configuration and (optionally) the scene that
+/// drives the importance model and foreground-coverage accounting.
+#[derive(Debug, Clone)]
+pub struct ExecutionContext<'a> {
+    /// Pruning configuration for SpConv-P layers.
+    pub pruning: PruningConfig,
+    /// The scene providing ground-truth boxes for the importance model.
+    pub scene: Option<&'a Scene>,
+    /// The pillarisation configuration of the base grid.
+    pub pillar_config: Option<&'a PillarizationConfig>,
+    /// Seed for the deterministic importance noise.
+    pub seed: u64,
+}
+
+impl Default for ExecutionContext<'_> {
+    fn default() -> Self {
+        Self {
+            pruning: PruningConfig::default(),
+            scene: None,
+            pillar_config: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Executes a network at pattern level.
+///
+/// `initial_coords` are the active pillars produced by the pillar encoder on
+/// the base grid `grid`.
+#[must_use]
+pub fn execute_pattern(
+    spec: &NetworkSpec,
+    initial_coords: &[PillarCoord],
+    grid: GridShape,
+    encoder_macs: u64,
+    ctx: &ExecutionContext<'_>,
+) -> (NetworkTrace, Vec<LayerWorkload>) {
+    let pruner = VectorPruner::new(ctx.pruning);
+    let mut outputs: Vec<(GridShape, Vec<PillarCoord>)> = Vec::with_capacity(spec.layers.len());
+    let mut traces = Vec::with_capacity(spec.layers.len());
+    let mut workloads = Vec::with_capacity(spec.layers.len());
+    let mut importance_cache: HashMap<u32, ImportanceModel> = HashMap::new();
+    // Foreground accounting at the base resolution.
+    let base_importance = match (ctx.scene, ctx.pillar_config) {
+        (Some(scene), Some(cfg)) => Some(ImportanceModel::for_scene(
+            scene,
+            cfg,
+            grid,
+            1,
+            ctx.seed,
+            ctx.pruning.finetuned,
+        )),
+        _ => None,
+    };
+    let initial_foreground = base_importance
+        .as_ref()
+        .map(|m| initial_coords.iter().filter(|c| m.is_foreground(**c)).count());
+    let mut pruned_foreground_ratio: Vec<f64> = Vec::new();
+
+    for layer in &spec.layers {
+        let (in_grid, mut in_coords): (GridShape, Vec<PillarCoord>) = match &layer.input {
+            LayerInput::Previous => outputs
+                .last()
+                .cloned()
+                .unwrap_or_else(|| (grid, initial_coords.to_vec())),
+            LayerInput::Layer(i) => outputs[*i].clone(),
+            LayerInput::Union(indices) => {
+                // Concatenated branches may differ by a row/column when odd
+                // grid sizes round up through stride-2 / deconv chains; crop
+                // to the smallest grid, as real detection necks do.
+                let g = indices
+                    .iter()
+                    .map(|&i| outputs[i].0)
+                    .min_by_key(|g| (g.height, g.width))
+                    .expect("union must reference at least one layer");
+                let mut set = std::collections::BTreeSet::new();
+                for &i in indices {
+                    set.extend(outputs[i].1.iter().copied().filter(|c| c.in_bounds(g)));
+                }
+                (g, set.into_iter().collect())
+            }
+        };
+        if layer.densify_input {
+            in_coords = all_cells(in_grid);
+        }
+        let sp = &layer.spec;
+        let out_grid = sp.output_grid(in_grid);
+        let input_tensor = CprTensor::from_coords(in_grid, 1, &in_coords);
+        let dilated: Vec<PillarCoord> = if sp.kind == ConvKind::Dense {
+            all_cells(out_grid)
+        } else {
+            crate::rulegen::output_coords(&input_tensor, sp.kind, sp.kernel)
+        };
+        let rules = count_rules(&in_coords, in_grid, out_grid, sp.kind, sp.kernel);
+        // Dynamic pruning for SpConv-P layers.
+        let out_coords = if sp.kind == ConvKind::SpConvP {
+            let downsample = (grid.height / out_grid.height).max(1);
+            let scores = match (ctx.scene, ctx.pillar_config) {
+                (Some(scene), Some(cfg)) => {
+                    let model = importance_cache.entry(downsample).or_insert_with(|| {
+                        ImportanceModel::for_scene(
+                            scene,
+                            cfg,
+                            out_grid,
+                            downsample,
+                            ctx.seed,
+                            ctx.pruning.finetuned,
+                        )
+                    });
+                    model.scores(&dilated)
+                }
+                _ => dilated
+                    .iter()
+                    .map(|c| {
+                        // Deterministic pseudo-importance when no scene is given.
+                        let h = (u64::from(c.row) << 32) ^ u64::from(c.col) ^ ctx.seed;
+                        (h.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64
+                    })
+                    .collect(),
+            };
+            let kept = pruner.prune_coords(&dilated, &scores);
+            if let Some(model) = importance_cache.get(&((grid.height / out_grid.height).max(1))) {
+                let fg_before = dilated.iter().filter(|c| model.is_foreground(**c)).count();
+                let fg_after = kept.iter().filter(|c| model.is_foreground(**c)).count();
+                if fg_before > 0 {
+                    pruned_foreground_ratio.push(fg_after as f64 / fg_before as f64);
+                }
+            }
+            kept
+        } else {
+            dilated.clone()
+        };
+        let macs = match sp.kind {
+            ConvKind::Dense => {
+                out_grid.num_cells() as u64 * sp.kernel.num_taps() as u64 * sp.macs_per_rule() as u64
+            }
+            _ => rules * sp.macs_per_rule() as u64,
+        };
+        let dense_macs = dense_macs_for(sp, in_grid, out_grid);
+        traces.push(LayerTrace {
+            name: sp.name.clone(),
+            kind: sp.kind,
+            stage: layer.stage,
+            in_grid,
+            out_grid,
+            in_active: in_coords.len(),
+            dilated_active: dilated.len(),
+            out_active: out_coords.len(),
+            in_channels: sp.in_channels,
+            out_channels: sp.out_channels,
+            rules,
+            macs,
+            dense_macs,
+            iopr: iopr(in_coords.len(), out_coords.len()),
+        });
+        workloads.push(LayerWorkload {
+            spec: sp.clone(),
+            stage: layer.stage,
+            input_grid: in_grid,
+            input_coords: in_coords,
+            output_grid: out_grid,
+            output_coords: out_coords.clone(),
+            rules,
+        });
+        outputs.push((out_grid, out_coords));
+    }
+
+    // Foreground coverage: fraction retained through all pruning stages,
+    // relative to the foreground evidence present in the encoder output.
+    let foreground_coverage = initial_foreground.map(|initial| {
+        if initial == 0 {
+            1.0
+        } else {
+            pruned_foreground_ratio
+                .iter()
+                .product::<f64>()
+                .clamp(0.0, 1.0)
+        }
+    });
+
+    (
+        NetworkTrace {
+            name: spec.name.clone(),
+            layers: traces,
+            encoder_macs,
+            foreground_coverage,
+        },
+        workloads,
+    )
+}
+
+/// Counts the number of input-output rules for a layer analytically (without
+/// materialising the rule book).
+#[must_use]
+pub fn count_rules(
+    input_coords: &[PillarCoord],
+    in_grid: GridShape,
+    out_grid: GridShape,
+    kind: ConvKind,
+    kernel: crate::kernel::KernelShape,
+) -> u64 {
+    let offsets = kernel.offsets();
+    match kind {
+        ConvKind::Dense => out_grid.num_cells() as u64 * offsets.len() as u64,
+        ConvKind::SpConv | ConvKind::SpConvP => {
+            let mut rules = 0u64;
+            for p in input_coords {
+                for &(dr, dc) in &offsets {
+                    if p.offset(-dr, -dc, out_grid).is_some() {
+                        rules += 1;
+                    }
+                }
+            }
+            rules
+        }
+        ConvKind::SpConvS => {
+            let set: std::collections::HashSet<PillarCoord> =
+                input_coords.iter().copied().collect();
+            let mut rules = 0u64;
+            for p in input_coords {
+                for &(dr, dc) in &offsets {
+                    if let Some(q) = p.offset(-dr, -dc, in_grid) {
+                        if set.contains(&q) {
+                            rules += 1;
+                        }
+                    }
+                }
+            }
+            rules
+        }
+        ConvKind::SpStConv => {
+            let mut rules = 0u64;
+            for p in input_coords {
+                for &(dr, dc) in &offsets {
+                    let qr2 = i64::from(p.row) - i64::from(dr);
+                    let qc2 = i64::from(p.col) - i64::from(dc);
+                    if qr2 >= 0
+                        && qc2 >= 0
+                        && qr2 % 2 == 0
+                        && qc2 % 2 == 0
+                        && (qr2 / 2) < i64::from(out_grid.height)
+                        && (qc2 / 2) < i64::from(out_grid.width)
+                    {
+                        rules += 1;
+                    }
+                }
+            }
+            rules
+        }
+        ConvKind::SpDeconv => {
+            let mut rules = 0u64;
+            for p in input_coords {
+                for &(dr, dc) in &offsets {
+                    let q = PillarCoord::new(p.row * 2 + dr as u32, p.col * 2 + dc as u32);
+                    if q.in_bounds(out_grid) {
+                        rules += 1;
+                    }
+                }
+            }
+            rules
+        }
+    }
+}
+
+/// Dense-equivalent MAC count for a layer (what an ideal dense accelerator or
+/// GPU computes for the same layer shape).
+#[must_use]
+pub fn dense_macs_for(spec: &LayerSpec, in_grid: GridShape, out_grid: GridShape) -> u64 {
+    let cells = match spec.kind {
+        ConvKind::SpDeconv => in_grid.num_cells(),
+        _ => out_grid.num_cells(),
+    } as u64;
+    cells * spec.kernel.num_taps() as u64 * spec.macs_per_rule() as u64
+}
+
+fn all_cells(grid: GridShape) -> Vec<PillarCoord> {
+    let mut v = Vec::with_capacity(grid.num_cells());
+    for r in 0..grid.height {
+        for c in 0..grid.width {
+            v.push(PillarCoord::new(r, c));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelShape;
+
+    fn simple_spec(kind: ConvKind) -> NetworkSpec {
+        NetworkSpec {
+            name: "test".into(),
+            encoder_channels: 4,
+            layers: vec![
+                NetworkLayer {
+                    spec: LayerSpec::new("L1", kind, 4, 4),
+                    input: LayerInput::Previous,
+                    stage: 1,
+                    densify_input: false,
+                },
+                NetworkLayer {
+                    spec: LayerSpec::new("L2", kind, 4, 4),
+                    input: LayerInput::Previous,
+                    stage: 1,
+                    densify_input: false,
+                },
+            ],
+        }
+    }
+
+    fn initial() -> (Vec<PillarCoord>, GridShape) {
+        let grid = GridShape::new(16, 16);
+        let coords = vec![
+            PillarCoord::new(2, 2),
+            PillarCoord::new(2, 3),
+            PillarCoord::new(8, 8),
+            PillarCoord::new(12, 5),
+        ];
+        (coords, grid)
+    }
+
+    #[test]
+    fn submanifold_network_preserves_active_count() {
+        let (coords, grid) = initial();
+        let (trace, workloads) = execute_pattern(
+            &simple_spec(ConvKind::SpConvS),
+            &coords,
+            grid,
+            100,
+            &ExecutionContext::default(),
+        );
+        assert_eq!(trace.layers.len(), 2);
+        for l in &trace.layers {
+            assert_eq!(l.in_active, 4);
+            assert_eq!(l.out_active, 4);
+            assert!((l.iopr - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(workloads.len(), 2);
+        assert_eq!(trace.encoder_macs, 100);
+    }
+
+    #[test]
+    fn spconv_network_dilates_layer_by_layer() {
+        let (coords, grid) = initial();
+        let (trace, _) = execute_pattern(
+            &simple_spec(ConvKind::SpConv),
+            &coords,
+            grid,
+            0,
+            &ExecutionContext::default(),
+        );
+        assert!(trace.layers[0].out_active > trace.layers[0].in_active);
+        assert!(trace.layers[1].out_active > trace.layers[1].in_active);
+        assert!(trace.layers[0].iopr > 1.0);
+    }
+
+    #[test]
+    fn sparse_network_saves_computation_vs_dense() {
+        let (coords, grid) = initial();
+        let ctx = ExecutionContext::default();
+        let (sparse, _) = execute_pattern(&simple_spec(ConvKind::SpConvS), &coords, grid, 0, &ctx);
+        let (dense, _) = execute_pattern(&simple_spec(ConvKind::Dense), &coords, grid, 0, &ctx);
+        assert!(sparse.total_macs() < dense.total_macs());
+        assert!(sparse.computation_savings() > 0.5);
+        assert!(dense.computation_savings().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_layers_reduce_dilated_outputs() {
+        let (coords, grid) = initial();
+        let ctx = ExecutionContext {
+            pruning: PruningConfig {
+                keep_ratio: 0.5,
+                min_keep: 1,
+                finetuned: true,
+            },
+            ..Default::default()
+        };
+        let (trace, _) = execute_pattern(&simple_spec(ConvKind::SpConvP), &coords, grid, 0, &ctx);
+        for l in &trace.layers {
+            assert!(l.out_active < l.dilated_active);
+        }
+    }
+
+    #[test]
+    fn densify_flag_fills_grid() {
+        let (coords, grid) = initial();
+        let mut spec = simple_spec(ConvKind::Dense);
+        spec.layers[0].densify_input = true;
+        let (trace, workloads) =
+            execute_pattern(&spec, &coords, grid, 0, &ExecutionContext::default());
+        assert_eq!(trace.layers[0].in_active, grid.num_cells());
+        assert_eq!(workloads[0].input_coords.len(), grid.num_cells());
+    }
+
+    #[test]
+    fn union_input_merges_active_sets() {
+        let spec = NetworkSpec {
+            name: "u".into(),
+            encoder_channels: 2,
+            layers: vec![
+                NetworkLayer {
+                    spec: LayerSpec::new("A", ConvKind::SpConvS, 2, 2),
+                    input: LayerInput::Previous,
+                    stage: 1,
+                    densify_input: false,
+                },
+                NetworkLayer {
+                    spec: LayerSpec::new("B", ConvKind::SpConv, 2, 2),
+                    input: LayerInput::Layer(0),
+                    stage: 1,
+                    densify_input: false,
+                },
+                NetworkLayer {
+                    spec: LayerSpec::new("C", ConvKind::SpConvS, 4, 2),
+                    input: LayerInput::Union(vec![0, 1]),
+                    stage: 2,
+                    densify_input: false,
+                },
+            ],
+        };
+        let (coords, grid) = initial();
+        let (trace, _) = execute_pattern(&spec, &coords, grid, 0, &ExecutionContext::default());
+        // The union contains at least as many pillars as the submanifold branch.
+        assert!(trace.layers[2].in_active >= trace.layers[0].out_active);
+        assert_eq!(trace.layers[2].in_active, trace.layers[1].out_active);
+    }
+
+    #[test]
+    fn count_rules_matches_rulebook_for_sparse_kinds() {
+        let (coords, grid) = initial();
+        let t = CprTensor::from_coords(grid, 1, &coords);
+        for kind in [ConvKind::SpConv, ConvKind::SpConvS, ConvKind::SpStConv] {
+            let book = crate::rulegen::generate_rules(&t, kind, KernelShape::k3x3());
+            let counted = count_rules(
+                &coords,
+                grid,
+                crate::rulegen::output_grid(grid, kind),
+                kind,
+                KernelShape::k3x3(),
+            );
+            assert_eq!(counted, book.num_rules() as u64, "kind {kind}");
+        }
+        let book = crate::rulegen::generate_rules(&t, ConvKind::SpDeconv, KernelShape::k2x2());
+        let counted = count_rules(
+            &coords,
+            grid,
+            grid.upsample(2),
+            ConvKind::SpDeconv,
+            KernelShape::k2x2(),
+        );
+        assert_eq!(counted, book.num_rules() as u64);
+    }
+
+    #[test]
+    fn strided_layer_halves_grid_in_trace() {
+        let spec = NetworkSpec {
+            name: "s".into(),
+            encoder_channels: 2,
+            layers: vec![NetworkLayer {
+                spec: LayerSpec::new("down", ConvKind::SpStConv, 2, 4),
+                input: LayerInput::Previous,
+                stage: 1,
+                densify_input: false,
+            }],
+        };
+        let (coords, grid) = initial();
+        let (trace, _) = execute_pattern(&spec, &coords, grid, 0, &ExecutionContext::default());
+        assert_eq!(trace.layers[0].out_grid, GridShape::new(8, 8));
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's streaming rule-generation algorithm (Sec. III-B).
+//!
+//! Because the input is CPR-encoded (rows in order, columns sorted within a
+//! row), the rule for every output row can be produced by looking only at the
+//! `kh` input rows that overlap its receptive field:
+//!
+//! 1. **Alignment** — the `kh` relevant input rows are walked simultaneously.
+//! 2. **Row merge** — their column indices are merged into one sorted stream.
+//! 3. **Column-wise dilation** — each merged column is dilated by the kernel
+//!    width to enumerate the active output columns, and the (input, tap,
+//!    output) triples are emitted in ascending output order.
+//!
+//! The whole process touches every active pillar a constant number of times,
+//! giving the `O(P)` complexity that the RGU hardware exploits.
+
+use crate::conv::ConvKind;
+use crate::kernel::KernelShape;
+use crate::rule::RuleBook;
+use crate::rulegen::{output_coords, output_grid};
+use spade_tensor::{CprTensor, PillarCoord};
+
+/// Generates a rule book by streaming the CPR structure row by row.
+#[must_use]
+pub fn generate(input: &CprTensor, kind: ConvKind, kernel: KernelShape) -> RuleBook {
+    let out_grid = output_grid(input.grid(), kind);
+    let outputs = output_coords(input, kind, kernel);
+    let mut book = RuleBook::new(kernel.num_taps(), out_grid, outputs);
+    // Index from output coordinate to output index; because outputs are in CPR
+    // order this is a sorted slice, so lookups are binary searches (the
+    // hardware instead exploits monotonicity to track indices with counters).
+    let out_coords = book.output_coords().to_vec();
+    let find_output = |coord: PillarCoord| -> Option<usize> { out_coords.binary_search(&coord).ok() };
+
+    match kind {
+        ConvKind::SpDeconv => {
+            for (p_idx, p) in input.iter_coords().enumerate() {
+                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
+                    let q = PillarCoord::new(p.row * 2 + dr as u32, p.col * 2 + dc as u32);
+                    if !q.in_bounds(out_grid) {
+                        continue;
+                    }
+                    if let Some(q_idx) = find_output(q) {
+                        book.push(tap, p_idx, q_idx);
+                    }
+                }
+            }
+        }
+        ConvKind::SpStConv => {
+            for (p_idx, p) in input.iter_coords().enumerate() {
+                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
+                    let qr2 = i64::from(p.row) - i64::from(dr);
+                    let qc2 = i64::from(p.col) - i64::from(dc);
+                    if qr2 < 0 || qc2 < 0 || qr2 % 2 != 0 || qc2 % 2 != 0 {
+                        continue;
+                    }
+                    let q = PillarCoord::new((qr2 / 2) as u32, (qc2 / 2) as u32);
+                    if !q.in_bounds(out_grid) {
+                        continue;
+                    }
+                    if let Some(q_idx) = find_output(q) {
+                        book.push(tap, p_idx, q_idx);
+                    }
+                }
+            }
+        }
+        _ => {
+            // Stride-1 convolutions (dense, SpConv, SpConv-S, SpConv-P): an
+            // input at p contributes to output q = p - offset through the tap
+            // with that offset.
+            for (p_idx, p) in input.iter_coords().enumerate() {
+                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
+                    if let Some(q) = p.offset(-dr, -dc, out_grid) {
+                        if let Some(q_idx) = find_output(q) {
+                            book.push(tap, p_idx, q_idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    book
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_tensor::GridShape;
+
+    fn sample() -> CprTensor {
+        CprTensor::from_coords(
+            GridShape::new(6, 6),
+            1,
+            &[
+                PillarCoord::new(1, 1),
+                PillarCoord::new(1, 4),
+                PillarCoord::new(3, 3),
+            ],
+        )
+    }
+
+    #[test]
+    fn spconv_rules_cover_all_input_tap_pairs_in_bounds() {
+        let t = sample();
+        let book = generate(&t, ConvKind::SpConv, KernelShape::k3x3());
+        // Every (input, tap) pair whose output is in bounds yields a rule.
+        // Input (1,1): all 9 in bounds. (1,4): all 9. (3,3): all 9.
+        assert_eq!(book.num_rules(), 27);
+        assert!(book.check_monotone());
+    }
+
+    #[test]
+    fn edge_inputs_lose_out_of_bounds_rules() {
+        let t = CprTensor::from_coords(GridShape::new(6, 6), 1, &[PillarCoord::new(0, 0)]);
+        let book = generate(&t, ConvKind::SpConv, KernelShape::k3x3());
+        // The corner input can only produce the 4 in-bounds outputs.
+        assert_eq!(book.num_rules(), 4);
+        assert_eq!(book.num_outputs(), 4);
+    }
+
+    #[test]
+    fn submanifold_rules_only_target_active_outputs() {
+        let t = sample();
+        let book = generate(&t, ConvKind::SpConvS, KernelShape::k3x3());
+        assert_eq!(book.num_outputs(), 3);
+        // (1,1) and (1,4) are not neighbours, (3,3) is diagonal to neither
+        // within a 3x3 window, so each output only sees its own centre tap.
+        assert_eq!(book.num_rules(), 3);
+        for tap in 0..9 {
+            if tap == 4 {
+                assert_eq!(book.rules_for_tap(tap).len(), 3);
+            } else {
+                assert_eq!(book.rules_for_tap(tap).len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn deconv_rules_have_no_output_overlap() {
+        let t = sample();
+        let book = generate(&t, ConvKind::SpDeconv, KernelShape::k2x2());
+        let mut seen = std::collections::HashSet::new();
+        for tap in 0..book.num_taps() {
+            for r in book.rules_for_tap(tap) {
+                assert!(seen.insert(r.output), "deconv outputs must not overlap");
+            }
+        }
+        assert_eq!(book.num_rules(), 12);
+    }
+
+    #[test]
+    fn strided_rules_match_parity() {
+        let t = sample();
+        let book = generate(&t, ConvKind::SpStConv, KernelShape::k3x3());
+        assert!(book.num_rules() > 0);
+        assert_eq!(book.output_grid(), GridShape::new(3, 3));
+        assert!(book.check_monotone());
+    }
+}

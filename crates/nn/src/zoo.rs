@@ -1,0 +1,409 @@
+//! The paper's model zoo: PointPillars, CenterPoint, PillarNet, and their
+//! sparse variants (Table I).
+//!
+//! | Model | Backbone | Head | Dataset |
+//! |-------|----------|------|---------|
+//! | PP    | Conv2D   | Conv2D | KITTI-like |
+//! | SPP1  | SpConv   | Conv2D | KITTI-like |
+//! | SPP2  | SpConv-P | Conv2D | KITTI-like |
+//! | SPP3  | SpConv-S | Conv2D | KITTI-like |
+//! | CP    | Conv2D   | Conv2D | nuScenes-like |
+//! | SCP1  | SpConv   | Conv2D | nuScenes-like |
+//! | SCP2  | SpConv-P | SpConv-P | nuScenes-like |
+//! | SCP3  | SpConv-S | SpConv-P | nuScenes-like |
+//! | PN (Dense) | Conv2D encoder + Conv2D | Conv2D | nuScenes-like |
+//! | PN    | SpConv-S encoder + Conv2D | Conv2D | nuScenes-like |
+//! | SPN   | SpConv-S encoder + SpConv-S | Conv2D | nuScenes-like |
+
+use crate::conv::{ConvKind, LayerSpec};
+use crate::graph::{LayerInput, NetworkLayer, NetworkSpec};
+use crate::kernel::KernelShape;
+use serde::{Deserialize, Serialize};
+use spade_pointcloud::dataset::DatasetKind;
+
+/// The eleven networks evaluated by the paper (dense baselines + sparse
+/// variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Dense PointPillars on KITTI.
+    Pp,
+    /// PointPillars with standard SpConv backbone.
+    Spp1,
+    /// PointPillars with SpConv-P (dynamic vector pruning) backbone.
+    Spp2,
+    /// PointPillars with submanifold SpConv-S backbone.
+    Spp3,
+    /// Dense CenterPoint-Pillar on nuScenes.
+    Cp,
+    /// CenterPoint with SpConv backbone.
+    Scp1,
+    /// CenterPoint with SpConv-P backbone and head.
+    Scp2,
+    /// CenterPoint with SpConv-S backbone and SpConv-P head.
+    Scp3,
+    /// Fully dense PillarNet.
+    PnDense,
+    /// PillarNet with its sparse (SpConv-S) encoder, dense backbone/head.
+    Pn,
+    /// PillarNet with SpConv-S encoder and backbone.
+    Spn,
+}
+
+impl ModelKind {
+    /// All model kinds in the paper's Table I order.
+    pub const ALL: [ModelKind; 11] = [
+        ModelKind::Pp,
+        ModelKind::Spp1,
+        ModelKind::Spp2,
+        ModelKind::Spp3,
+        ModelKind::Cp,
+        ModelKind::Scp1,
+        ModelKind::Scp2,
+        ModelKind::Scp3,
+        ModelKind::PnDense,
+        ModelKind::Pn,
+        ModelKind::Spn,
+    ];
+
+    /// The seven *sparse* models used in the speedup/energy evaluation
+    /// (Fig. 9 onwards).
+    pub const SPARSE: [ModelKind; 7] = [
+        ModelKind::Spp1,
+        ModelKind::Spp2,
+        ModelKind::Spp3,
+        ModelKind::Scp1,
+        ModelKind::Scp2,
+        ModelKind::Scp3,
+        ModelKind::Spn,
+    ];
+
+    /// The dense baseline corresponding to a sparse model.
+    #[must_use]
+    pub const fn dense_baseline(self) -> ModelKind {
+        match self {
+            ModelKind::Pp | ModelKind::Spp1 | ModelKind::Spp2 | ModelKind::Spp3 => ModelKind::Pp,
+            ModelKind::Cp | ModelKind::Scp1 | ModelKind::Scp2 | ModelKind::Scp3 => ModelKind::Cp,
+            ModelKind::PnDense | ModelKind::Pn | ModelKind::Spn => ModelKind::PnDense,
+        }
+    }
+
+    /// Which dataset preset this model is evaluated on.
+    #[must_use]
+    pub const fn dataset(self) -> DatasetKind {
+        match self {
+            ModelKind::Pp | ModelKind::Spp1 | ModelKind::Spp2 | ModelKind::Spp3 => {
+                DatasetKind::KittiLike
+            }
+            _ => DatasetKind::NuscenesLike,
+        }
+    }
+
+    /// The paper's reported accuracy of the *dense* baseline family:
+    /// `(mAP BEV or mAP, secondary metric)` — (87.42, 77.31) for PP on KITTI
+    /// (BEV / 3D), (50.79, 60.55) for CP (mAP / NDS), (59.58, 66.95) for PN.
+    #[must_use]
+    pub const fn baseline_accuracy(self) -> (f64, f64) {
+        match self.dense_baseline() {
+            ModelKind::Pp => (87.42, 77.31),
+            ModelKind::Cp => (50.79, 60.55),
+            _ => (59.58, 66.95),
+        }
+    }
+
+    /// The paper's canonical name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ModelKind::Pp => "PP",
+            ModelKind::Spp1 => "SPP1",
+            ModelKind::Spp2 => "SPP2",
+            ModelKind::Spp3 => "SPP3",
+            ModelKind::Cp => "CP",
+            ModelKind::Scp1 => "SCP1",
+            ModelKind::Scp2 => "SCP2",
+            ModelKind::Scp3 => "SCP3",
+            ModelKind::PnDense => "PN (Dense)",
+            ModelKind::Pn => "PN",
+            ModelKind::Spn => "SPN",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete model: its kind and the layer graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    kind: ModelKind,
+    spec: NetworkSpec,
+}
+
+impl Model {
+    /// Builds the layer graph for a model kind.
+    #[must_use]
+    pub fn build(kind: ModelKind) -> Self {
+        let spec = match kind {
+            ModelKind::Pp => pillars_family("PP", ConvKind::Dense, ConvKind::Dense, 64, true, None),
+            ModelKind::Spp1 => {
+                pillars_family("SPP1", ConvKind::SpConv, ConvKind::Dense, 64, false, None)
+            }
+            ModelKind::Spp2 => {
+                pillars_family("SPP2", ConvKind::SpConvP, ConvKind::Dense, 64, false, None)
+            }
+            ModelKind::Spp3 => {
+                pillars_family("SPP3", ConvKind::SpConvS, ConvKind::Dense, 64, false, None)
+            }
+            ModelKind::Cp => pillars_family("CP", ConvKind::Dense, ConvKind::Dense, 64, true, None),
+            ModelKind::Scp1 => {
+                pillars_family("SCP1", ConvKind::SpConv, ConvKind::Dense, 64, false, None)
+            }
+            ModelKind::Scp2 => {
+                pillars_family("SCP2", ConvKind::SpConvP, ConvKind::SpConvP, 64, false, None)
+            }
+            ModelKind::Scp3 => {
+                pillars_family("SCP3", ConvKind::SpConvS, ConvKind::SpConvP, 64, false, None)
+            }
+            ModelKind::PnDense => pillars_family(
+                "PN (Dense)",
+                ConvKind::Dense,
+                ConvKind::Dense,
+                32,
+                true,
+                Some(ConvKind::Dense),
+            ),
+            ModelKind::Pn => pillars_family(
+                "PN",
+                ConvKind::Dense,
+                ConvKind::Dense,
+                32,
+                true,
+                Some(ConvKind::SpConvS),
+            ),
+            ModelKind::Spn => pillars_family(
+                "SPN",
+                ConvKind::SpConvS,
+                ConvKind::Dense,
+                32,
+                false,
+                Some(ConvKind::SpConvS),
+            ),
+        };
+        Self { kind, spec }
+    }
+
+    /// The model kind.
+    #[must_use]
+    pub const fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// The layer graph.
+    #[must_use]
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+}
+
+/// Builds the PointPillars-family layer graph shared by all models.
+///
+/// * `backbone_kind` — the convolution used for the stride-1 backbone layers.
+/// * `head_kind` — the convolution used for the detection-head layers.
+/// * `encoder_channels` — channels coming out of the pillar feature encoder.
+/// * `densify` — whether the first backbone layer receives a densified
+///   pseudo-image (the dense-baseline path).
+/// * `pillarnet_encoder` — `Some(kind)` adds PillarNet's extra encoder stage
+///   at the base resolution before the backbone.
+fn pillars_family(
+    name: &str,
+    backbone_kind: ConvKind,
+    head_kind: ConvKind,
+    encoder_channels: usize,
+    densify: bool,
+    pillarnet_encoder: Option<ConvKind>,
+) -> NetworkSpec {
+    let mut layers: Vec<NetworkLayer> = Vec::new();
+    let mut prev_channels = encoder_channels;
+    let mut first = true;
+
+    // PillarNet's additional sparse-conv encoder at the base resolution.
+    if let Some(kind) = pillarnet_encoder {
+        for i in 0..2 {
+            layers.push(NetworkLayer {
+                spec: LayerSpec::new(&format!("E0C{}", i + 1), kind, prev_channels, 64),
+                input: LayerInput::Previous,
+                stage: 0,
+                densify_input: first && densify && kind == ConvKind::Dense,
+            });
+            prev_channels = 64;
+            first = false;
+        }
+    }
+
+    // Backbone: three stages, each a strided downsampling conv followed by
+    // stride-1 convolutions (layer_nums = [3, 5, 5] as in PointPillars).
+    let stage_channels = [64usize, 128, 256];
+    let stage_layers = [3usize, 5, 5];
+    let mut stage_last_idx = [0usize; 3];
+    for (s, (&ch, &n)) in stage_channels.iter().zip(stage_layers.iter()).enumerate() {
+        // Downsampling layer.
+        layers.push(NetworkLayer {
+            spec: LayerSpec::new(&format!("B{}C0", s + 1), ConvKind::SpStConv, prev_channels, ch),
+            input: LayerInput::Previous,
+            stage: s + 1,
+            densify_input: first && densify,
+        });
+        first = false;
+        prev_channels = ch;
+        for i in 0..n {
+            layers.push(NetworkLayer {
+                spec: LayerSpec::new(
+                    &format!("B{}C{}", s + 1, i + 1),
+                    backbone_kind,
+                    prev_channels,
+                    ch,
+                ),
+                input: LayerInput::Previous,
+                stage: s + 1,
+                densify_input: false,
+            });
+        }
+        stage_last_idx[s] = layers.len() - 1;
+    }
+
+    // Neck: bring each stage to the stage-1 resolution with 128 channels.
+    // Stage 1 uses a 1x1 projection; stage 2 one deconv; stage 3 two deconvs.
+    let neck1 = layers.len();
+    layers.push(NetworkLayer {
+        spec: LayerSpec::with_kernel("N1", head_kind, stage_channels[0], 128, KernelShape::k1x1()),
+        input: LayerInput::Layer(stage_last_idx[0]),
+        stage: 4,
+        densify_input: false,
+    });
+    let neck2 = layers.len();
+    layers.push(NetworkLayer {
+        spec: LayerSpec::new("N2", ConvKind::SpDeconv, stage_channels[1], 128),
+        input: LayerInput::Layer(stage_last_idx[1]),
+        stage: 4,
+        densify_input: false,
+    });
+    layers.push(NetworkLayer {
+        spec: LayerSpec::new("N3a", ConvKind::SpDeconv, stage_channels[2], 128),
+        input: LayerInput::Layer(stage_last_idx[2]),
+        stage: 4,
+        densify_input: false,
+    });
+    let neck3 = layers.len();
+    layers.push(NetworkLayer {
+        spec: LayerSpec::new("N3b", ConvKind::SpDeconv, 128, 128),
+        input: LayerInput::Previous,
+        stage: 4,
+        densify_input: false,
+    });
+
+    // Head: three 1x1 prediction convolutions over the concatenated neck
+    // features (class, box, direction branches), as in the SSD-style head of
+    // PointPillars.
+    for (i, branch) in ["cls", "box", "dir"].iter().enumerate() {
+        layers.push(NetworkLayer {
+            spec: LayerSpec::with_kernel(
+                &format!("H{}_{branch}", i + 1),
+                head_kind,
+                384,
+                64,
+                KernelShape::k1x1(),
+            ),
+            input: LayerInput::Union(vec![neck1, neck2, neck3]),
+            stage: 5,
+            densify_input: false,
+        });
+    }
+
+    NetworkSpec {
+        name: name.to_owned(),
+        encoder_channels,
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build() {
+        for kind in ModelKind::ALL {
+            let m = Model::build(kind);
+            assert_eq!(m.kind(), kind);
+            assert!(m.spec().num_layers() >= 17, "{kind} too small");
+        }
+    }
+
+    #[test]
+    fn sparse_models_map_to_their_dense_baselines() {
+        assert_eq!(ModelKind::Spp2.dense_baseline(), ModelKind::Pp);
+        assert_eq!(ModelKind::Scp3.dense_baseline(), ModelKind::Cp);
+        assert_eq!(ModelKind::Spn.dense_baseline(), ModelKind::PnDense);
+        assert_eq!(ModelKind::Pp.dense_baseline(), ModelKind::Pp);
+    }
+
+    #[test]
+    fn datasets_match_table_one() {
+        assert_eq!(ModelKind::Spp1.dataset(), DatasetKind::KittiLike);
+        assert_eq!(ModelKind::Scp2.dataset(), DatasetKind::NuscenesLike);
+        assert_eq!(ModelKind::Spn.dataset(), DatasetKind::NuscenesLike);
+    }
+
+    #[test]
+    fn dense_baselines_densify_and_sparse_do_not() {
+        let pp = Model::build(ModelKind::Pp);
+        assert!(pp.spec().layers.iter().any(|l| l.densify_input));
+        let spp2 = Model::build(ModelKind::Spp2);
+        assert!(spp2.spec().layers.iter().all(|l| !l.densify_input));
+    }
+
+    #[test]
+    fn backbone_kinds_follow_table_one() {
+        let find_kind = |m: &Model, name: &str| {
+            m.spec()
+                .layers
+                .iter()
+                .find(|l| l.spec.name == name)
+                .map(|l| l.spec.kind)
+                .unwrap()
+        };
+        assert_eq!(find_kind(&Model::build(ModelKind::Spp1), "B1C1"), ConvKind::SpConv);
+        assert_eq!(find_kind(&Model::build(ModelKind::Spp2), "B1C1"), ConvKind::SpConvP);
+        assert_eq!(find_kind(&Model::build(ModelKind::Spp3), "B1C1"), ConvKind::SpConvS);
+        assert_eq!(find_kind(&Model::build(ModelKind::Pp), "B1C1"), ConvKind::Dense);
+        assert_eq!(find_kind(&Model::build(ModelKind::Scp2), "H1_cls"), ConvKind::SpConvP);
+        assert_eq!(find_kind(&Model::build(ModelKind::Spp2), "H1_cls"), ConvKind::Dense);
+    }
+
+    #[test]
+    fn pillarnet_models_have_extra_encoder_stage() {
+        let pn = Model::build(ModelKind::Pn);
+        assert!(pn.spec().layers.iter().any(|l| l.stage == 0));
+        let pp = Model::build(ModelKind::Pp);
+        assert!(pp.spec().layers.iter().all(|l| l.stage != 0));
+    }
+
+    #[test]
+    fn names_and_accuracy_constants() {
+        assert_eq!(ModelKind::Spp2.to_string(), "SPP2");
+        assert_eq!(ModelKind::PnDense.to_string(), "PN (Dense)");
+        let (bev, three_d) = ModelKind::Spp1.baseline_accuracy();
+        assert!((bev - 87.42).abs() < 1e-9);
+        assert!((three_d - 77.31).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_list_excludes_dense_baselines() {
+        for k in ModelKind::SPARSE {
+            assert_ne!(k, k.dense_baseline());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Detection matching, average precision, and mAP.
+
+use crate::geometry::BoundingBox3;
+use crate::object::{ObjectClass, SceneObject};
+use serde::{Deserialize, Serialize};
+
+/// How box overlap is measured when matching detections to ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IouKind {
+    /// Rotated-rectangle IoU on the BEV plane (the paper's "mAP (BEV)").
+    Bev,
+    /// Full 3D IoU (the paper's "mAP (3D)").
+    ThreeD,
+}
+
+/// A single detection: class, box, and confidence score.
+///
+/// # Example
+///
+/// ```
+/// use spade_pointcloud::{Detection, ObjectClass};
+/// use spade_pointcloud::geometry::BoundingBox3;
+/// let d = Detection::new(ObjectClass::Car, BoundingBox3::new(1.0, 2.0, 0.0, 4.0, 1.7, 1.6, 0.0), 0.9);
+/// assert_eq!(d.class, ObjectClass::Car);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Predicted class.
+    pub class: ObjectClass,
+    /// Predicted box.
+    pub bbox: BoundingBox3,
+    /// Confidence score in `[0, 1]`.
+    pub score: f64,
+}
+
+impl Detection {
+    /// Creates a detection.
+    #[must_use]
+    pub const fn new(class: ObjectClass, bbox: BoundingBox3, score: f64) -> Self {
+        Self { class, bbox, score }
+    }
+}
+
+/// Per-class and aggregate evaluation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// `(class, average precision)` pairs for classes present in ground truth.
+    pub per_class_ap: Vec<(ObjectClass, f64)>,
+    /// Mean average precision over those classes.
+    pub map: f64,
+}
+
+/// The IoU threshold the paper's benchmarks use per class (0.7 for vehicles,
+/// 0.5 for small agents — the KITTI convention).
+#[must_use]
+pub fn iou_threshold(class: ObjectClass) -> f64 {
+    match class {
+        ObjectClass::Car | ObjectClass::Truck => 0.7,
+        ObjectClass::Pedestrian | ObjectClass::Cyclist => 0.5,
+    }
+}
+
+/// Evaluates detections from a set of frames against ground truth.
+///
+/// `frames` pairs each frame's ground-truth objects with its detections.
+/// AP is computed with 40-point interpolation per class; mAP averages the
+/// per-class APs of classes that appear in the ground truth.
+#[must_use]
+pub fn evaluate_detections(
+    frames: &[(Vec<SceneObject>, Vec<Detection>)],
+    iou_kind: IouKind,
+) -> EvalResult {
+    let mut per_class_ap = Vec::new();
+    for class in ObjectClass::ALL {
+        let total_gt: usize = frames
+            .iter()
+            .map(|(gt, _)| gt.iter().filter(|o| o.class == class).count())
+            .sum();
+        if total_gt == 0 {
+            continue;
+        }
+        // Gather (score, is_true_positive) across frames.
+        let mut scored: Vec<(f64, bool)> = Vec::new();
+        for (gt, dets) in frames {
+            let gt_boxes: Vec<&SceneObject> = gt.iter().filter(|o| o.class == class).collect();
+            let mut matched = vec![false; gt_boxes.len()];
+            let mut dets: Vec<&Detection> = dets.iter().filter(|d| d.class == class).collect();
+            dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+            for det in dets {
+                let mut best_iou = 0.0;
+                let mut best_idx = None;
+                for (i, g) in gt_boxes.iter().enumerate() {
+                    if matched[i] {
+                        continue;
+                    }
+                    let iou = match iou_kind {
+                        IouKind::Bev => det.bbox.bev_iou(&g.bbox),
+                        IouKind::ThreeD => det.bbox.iou_3d(&g.bbox),
+                    };
+                    if iou > best_iou {
+                        best_iou = iou;
+                        best_idx = Some(i);
+                    }
+                }
+                let tp = if best_iou >= iou_threshold(class) {
+                    if let Some(i) = best_idx {
+                        matched[i] = true;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+                scored.push((det.score, tp));
+            }
+        }
+        let ap = average_precision(&mut scored, total_gt);
+        per_class_ap.push((class, ap));
+    }
+    let map = if per_class_ap.is_empty() {
+        0.0
+    } else {
+        per_class_ap.iter().map(|(_, ap)| ap).sum::<f64>() / per_class_ap.len() as f64
+    };
+    EvalResult { per_class_ap, map }
+}
+
+/// 40-point interpolated average precision from scored detections.
+fn average_precision(scored: &mut [(f64, bool)], total_gt: usize) -> f64 {
+    if total_gt == 0 {
+        return 0.0;
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut precision_recall: Vec<(f64, f64)> = Vec::with_capacity(scored.len());
+    for (_, is_tp) in scored.iter() {
+        if *is_tp {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / total_gt as f64;
+        precision_recall.push((recall, precision));
+    }
+    // 40-point interpolation over recall ∈ (0, 1].
+    let mut ap = 0.0;
+    for i in 1..=40 {
+        let r = i as f64 / 40.0;
+        let p = precision_recall
+            .iter()
+            .filter(|(recall, _)| *recall >= r)
+            .map(|(_, precision)| *precision)
+            .fold(0.0f64, f64::max);
+        ap += p / 40.0;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gt_car(x: f64, y: f64) -> SceneObject {
+        SceneObject::at(ObjectClass::Car, x, y, 0.0)
+    }
+
+    fn det_car(x: f64, y: f64, score: f64) -> Detection {
+        let o = SceneObject::at(ObjectClass::Car, x, y, 0.0);
+        Detection::new(ObjectClass::Car, o.bbox, score)
+    }
+
+    #[test]
+    fn perfect_detections_give_map_one() {
+        let gt = vec![gt_car(10.0, 0.0), gt_car(20.0, 5.0)];
+        let dets = vec![det_car(10.0, 0.0, 0.9), det_car(20.0, 5.0, 0.8)];
+        let result = evaluate_detections(&[(gt, dets)], IouKind::Bev);
+        assert!((result.map - 1.0).abs() < 1e-9, "map = {}", result.map);
+    }
+
+    #[test]
+    fn missing_detections_reduce_map() {
+        let gt = vec![gt_car(10.0, 0.0), gt_car(20.0, 5.0)];
+        let dets = vec![det_car(10.0, 0.0, 0.9)];
+        let result = evaluate_detections(&[(gt, dets)], IouKind::Bev);
+        assert!(result.map < 0.75);
+        assert!(result.map > 0.0);
+    }
+
+    #[test]
+    fn false_positives_reduce_precision() {
+        let gt = vec![gt_car(10.0, 0.0)];
+        let dets = vec![
+            det_car(50.0, 30.0, 0.95), // false positive with higher score
+            det_car(10.0, 0.0, 0.90),
+        ];
+        let with_fp = evaluate_detections(&[(gt.clone(), dets)], IouKind::Bev);
+        let without_fp =
+            evaluate_detections(&[(gt, vec![det_car(10.0, 0.0, 0.9)])], IouKind::Bev);
+        assert!(with_fp.map < without_fp.map);
+    }
+
+    #[test]
+    fn class_mismatch_is_not_a_match() {
+        let gt = vec![gt_car(10.0, 0.0)];
+        let o = SceneObject::at(ObjectClass::Car, 10.0, 0.0, 0.0);
+        let dets = vec![Detection::new(ObjectClass::Pedestrian, o.bbox, 0.9)];
+        let result = evaluate_detections(&[(gt, dets)], IouKind::Bev);
+        assert_eq!(result.map, 0.0);
+    }
+
+    #[test]
+    fn slightly_offset_detection_still_matches_bev() {
+        // 0.3 m offset on a 4 m car keeps IoU above 0.7.
+        let gt = vec![gt_car(10.0, 0.0)];
+        let dets = vec![det_car(10.3, 0.0, 0.9)];
+        let result = evaluate_detections(&[(gt, dets)], IouKind::Bev);
+        assert!(result.map > 0.9);
+    }
+
+    #[test]
+    fn empty_ground_truth_gives_zero_map() {
+        let result = evaluate_detections(&[(vec![], vec![det_car(1.0, 1.0, 0.5)])], IouKind::Bev);
+        assert_eq!(result.map, 0.0);
+        assert!(result.per_class_ap.is_empty());
+    }
+
+    #[test]
+    fn thresholds_follow_kitti_convention() {
+        assert_eq!(iou_threshold(ObjectClass::Car), 0.7);
+        assert_eq!(iou_threshold(ObjectClass::Pedestrian), 0.5);
+        assert_eq!(iou_threshold(ObjectClass::Cyclist), 0.5);
+        assert_eq!(iou_threshold(ObjectClass::Truck), 0.7);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let gt = vec![gt_car(10.0, 0.0)];
+        let dets = vec![det_car(10.0, 0.0, 0.9), det_car(10.0, 0.0, 0.8)];
+        let result = evaluate_detections(&[(gt, dets)], IouKind::Bev);
+        // The duplicate cannot match the already-claimed ground-truth box, so
+        // AP never exceeds 1.0; with interpolated AP the trailing false
+        // positive after full recall does not lower it either.
+        assert!((result.map - 1.0).abs() < 1e-9);
+        // But a duplicate arriving *before* the true positive does lower AP.
+        let dets = vec![det_car(50.0, 30.0, 0.99), det_car(10.0, 0.0, 0.8)];
+        let gt = vec![gt_car(10.0, 0.0)];
+        let worse = evaluate_detections(&[(gt, dets)], IouKind::Bev);
+        assert!(worse.map < 1.0);
+    }
+
+    #[test]
+    fn three_d_iou_is_stricter_than_bev() {
+        let gt = vec![gt_car(10.0, 0.0)];
+        // Offset vertically: BEV unaffected, 3D overlap reduced.
+        let mut bbox = SceneObject::at(ObjectClass::Car, 10.0, 0.0, 0.0).bbox;
+        bbox.cz += 0.7;
+        let dets = vec![Detection::new(ObjectClass::Car, bbox, 0.9)];
+        let bev = evaluate_detections(&[(gt.clone(), dets.clone())], IouKind::Bev);
+        let three_d = evaluate_detections(&[(gt, dets)], IouKind::ThreeD);
+        assert!(bev.map >= three_d.map);
+    }
+}

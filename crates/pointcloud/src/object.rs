@@ -1,0 +1,145 @@
+//! Road-agent object classes and per-class size/point-density models.
+
+use crate::geometry::BoundingBox3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Road-agent classes used by the KITTI-like and nuScenes-like workloads.
+///
+/// # Example
+///
+/// ```
+/// use spade_pointcloud::ObjectClass;
+/// assert!(ObjectClass::Car.typical_dimensions().0 > ObjectClass::Pedestrian.typical_dimensions().0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// Passenger car (~4.0 × 1.7 × 1.6 m).
+    Car,
+    /// Pedestrian (~0.6 × 0.6 × 1.75 m).
+    Pedestrian,
+    /// Cyclist (~1.8 × 0.6 × 1.75 m).
+    Cyclist,
+    /// Truck / bus (~8.0 × 2.5 × 3.0 m); appears in nuScenes-like scenes.
+    Truck,
+}
+
+impl ObjectClass {
+    /// All supported classes.
+    pub const ALL: [ObjectClass; 4] = [
+        ObjectClass::Car,
+        ObjectClass::Pedestrian,
+        ObjectClass::Cyclist,
+        ObjectClass::Truck,
+    ];
+
+    /// Typical `(length, width, height)` in metres.
+    #[must_use]
+    pub const fn typical_dimensions(self) -> (f64, f64, f64) {
+        match self {
+            ObjectClass::Car => (4.0, 1.7, 1.6),
+            ObjectClass::Pedestrian => (0.6, 0.6, 1.75),
+            ObjectClass::Cyclist => (1.8, 0.6, 1.75),
+            ObjectClass::Truck => (8.0, 2.5, 3.0),
+        }
+    }
+
+    /// Relative surface point density (points per m² at 10 m range); larger
+    /// and more reflective objects return more points.
+    #[must_use]
+    pub const fn point_density(self) -> f64 {
+        match self {
+            ObjectClass::Car => 60.0,
+            ObjectClass::Pedestrian => 80.0,
+            ObjectClass::Cyclist => 70.0,
+            ObjectClass::Truck => 50.0,
+        }
+    }
+}
+
+impl fmt::Display for ObjectClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ObjectClass::Car => "car",
+            ObjectClass::Pedestrian => "pedestrian",
+            ObjectClass::Cyclist => "cyclist",
+            ObjectClass::Truck => "truck",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An object placed in a scene: its class and its ground-truth box.
+///
+/// # Example
+///
+/// ```
+/// use spade_pointcloud::{ObjectClass, SceneObject};
+/// let o = SceneObject::at(ObjectClass::Car, 12.0, -3.0, 0.4);
+/// assert_eq!(o.class, ObjectClass::Car);
+/// assert!(o.bbox.contains_bev(12.0, -3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneObject {
+    /// The object's class.
+    pub class: ObjectClass,
+    /// The object's ground-truth bounding box.
+    pub bbox: BoundingBox3,
+}
+
+impl SceneObject {
+    /// Creates an object of the given class at `(x, y)` with the given yaw,
+    /// using the class's typical dimensions and resting on the ground plane
+    /// (z = 0 at the bottom of the box).
+    #[must_use]
+    pub fn at(class: ObjectClass, x: f64, y: f64, yaw: f64) -> Self {
+        let (l, w, h) = class.typical_dimensions();
+        Self {
+            class,
+            bbox: BoundingBox3::new(x, y, h / 2.0 - 1.6, l, w, h, yaw),
+        }
+    }
+
+    /// Creates an object with explicit dimensions.
+    #[must_use]
+    pub const fn with_box(class: ObjectClass, bbox: BoundingBox3) -> Self {
+        Self { class, bbox }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_dimensions_ordering() {
+        let (cl, cw, ch) = ObjectClass::Car.typical_dimensions();
+        let (pl, pw, ph) = ObjectClass::Pedestrian.typical_dimensions();
+        assert!(cl > pl && cw > pw);
+        assert!(ph > ch / 2.0);
+        let (tl, ..) = ObjectClass::Truck.typical_dimensions();
+        assert!(tl > cl);
+    }
+
+    #[test]
+    fn display_names_are_lowercase() {
+        for c in ObjectClass::ALL {
+            let s = c.to_string();
+            assert_eq!(s, s.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn scene_object_box_contains_centre() {
+        let o = SceneObject::at(ObjectClass::Cyclist, 5.0, 5.0, 1.0);
+        assert!(o.bbox.contains_bev(5.0, 5.0));
+        assert!((o.bbox.length - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_classes_have_positive_density() {
+        for c in ObjectClass::ALL {
+            assert!(c.point_density() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Point cloud → pillar discretisation.
+
+use crate::geometry::Point3;
+use serde::{Deserialize, Serialize};
+use spade_tensor::{CprTensor, GridShape, PillarCoord};
+use std::collections::BTreeMap;
+
+/// Configuration of the BEV pillarisation grid.
+///
+/// # Example
+///
+/// ```
+/// use spade_pointcloud::PillarizationConfig;
+/// let cfg = PillarizationConfig::kitti_like();
+/// let grid = cfg.grid_shape();
+/// assert_eq!(grid.height, 432);
+/// assert_eq!(grid.width, 496);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PillarizationConfig {
+    /// X range covered by the grid (m).
+    pub x_range: (f64, f64),
+    /// Y range covered by the grid (m).
+    pub y_range: (f64, f64),
+    /// Z range of points that are kept (m).
+    pub z_range: (f64, f64),
+    /// Pillar size along X (m).
+    pub pillar_size_x: f64,
+    /// Pillar size along Y (m).
+    pub pillar_size_y: f64,
+    /// Maximum points retained per pillar (PointPillars keeps 32–100).
+    pub max_points_per_pillar: usize,
+}
+
+impl PillarizationConfig {
+    /// KITTI-like PointPillars grid: 0.16 m pillars over 69.12 × 79.36 m,
+    /// giving a 432 × 496 BEV grid.
+    #[must_use]
+    pub fn kitti_like() -> Self {
+        Self {
+            x_range: (0.0, 69.12),
+            y_range: (-39.68, 39.68),
+            z_range: (-3.0, 1.0),
+            pillar_size_x: 0.16,
+            pillar_size_y: 0.16,
+            max_points_per_pillar: 32,
+        }
+    }
+
+    /// nuScenes-like grid: 0.2 m pillars over ±51.2 m, giving 512 × 512.
+    #[must_use]
+    pub fn nuscenes_like() -> Self {
+        Self {
+            x_range: (-51.2, 51.2),
+            y_range: (-51.2, 51.2),
+            z_range: (-5.0, 3.0),
+            pillar_size_x: 0.2,
+            pillar_size_y: 0.2,
+            max_points_per_pillar: 20,
+        }
+    }
+
+    /// The BEV grid shape induced by the ranges and pillar sizes. Rows bin X
+    /// and columns bin Y.
+    #[must_use]
+    pub fn grid_shape(&self) -> GridShape {
+        let height = ((self.x_range.1 - self.x_range.0) / self.pillar_size_x).round() as u32;
+        let width = ((self.y_range.1 - self.y_range.0) / self.pillar_size_y).round() as u32;
+        GridShape::new(height.max(1), width.max(1))
+    }
+
+    /// Maps a point to its pillar coordinate, or `None` if it falls outside
+    /// the grid or the Z crop.
+    #[must_use]
+    pub fn coord_of(&self, p: &Point3) -> Option<PillarCoord> {
+        if p.z < self.z_range.0 || p.z >= self.z_range.1 {
+            return None;
+        }
+        if p.x < self.x_range.0 || p.x >= self.x_range.1 {
+            return None;
+        }
+        if p.y < self.y_range.0 || p.y >= self.y_range.1 {
+            return None;
+        }
+        let row = ((p.x - self.x_range.0) / self.pillar_size_x) as u32;
+        let col = ((p.y - self.y_range.0) / self.pillar_size_y) as u32;
+        let grid = self.grid_shape();
+        let coord = PillarCoord::new(row.min(grid.height - 1), col.min(grid.width - 1));
+        Some(coord)
+    }
+}
+
+impl Default for PillarizationConfig {
+    fn default() -> Self {
+        Self::kitti_like()
+    }
+}
+
+/// The result of pillarising a point cloud: active coordinates (CPR order)
+/// and the points gathered into each pillar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PillarizedCloud {
+    /// Grid shape of the pillarisation.
+    pub grid: GridShape,
+    /// Active pillar coordinates, sorted row-major (CPR order).
+    pub active_coords: Vec<PillarCoord>,
+    /// Points per active pillar, parallel to `active_coords`, each truncated
+    /// to `max_points_per_pillar`.
+    pub points_per_pillar: Vec<Vec<Point3>>,
+}
+
+impl PillarizedCloud {
+    /// Number of active pillars.
+    #[must_use]
+    pub fn num_active(&self) -> usize {
+        self.active_coords.len()
+    }
+
+    /// Occupancy: active pillars / total grid cells.
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        self.num_active() as f64 / self.grid.num_cells() as f64
+    }
+
+    /// Builds a pattern-only CPR tensor (all features 1.0) with the given
+    /// channel count. Useful when only the sparsity pattern matters.
+    #[must_use]
+    pub fn to_pattern_tensor(&self, channels: usize) -> CprTensor {
+        CprTensor::from_coords(self.grid, channels, &self.active_coords)
+    }
+}
+
+/// Discretises a point cloud onto the BEV grid.
+#[must_use]
+pub fn pillarize(points: &[Point3], config: &PillarizationConfig) -> PillarizedCloud {
+    let grid = config.grid_shape();
+    let mut map: BTreeMap<PillarCoord, Vec<Point3>> = BTreeMap::new();
+    for p in points {
+        if let Some(coord) = config.coord_of(p) {
+            let bucket = map.entry(coord).or_default();
+            if bucket.len() < config.max_points_per_pillar {
+                bucket.push(*p);
+            }
+        }
+    }
+    let (active_coords, points_per_pillar): (Vec<_>, Vec<_>) = map.into_iter().unzip();
+    PillarizedCloud {
+        grid,
+        active_coords,
+        points_per_pillar,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kitti_grid_shape_matches_pointpillars() {
+        let cfg = PillarizationConfig::kitti_like();
+        assert_eq!(cfg.grid_shape(), GridShape::new(432, 496));
+        let cfg = PillarizationConfig::nuscenes_like();
+        assert_eq!(cfg.grid_shape(), GridShape::new(512, 512));
+    }
+
+    #[test]
+    fn coord_of_filters_out_of_range_points() {
+        let cfg = PillarizationConfig::kitti_like();
+        assert!(cfg.coord_of(&Point3::new(-1.0, 0.0, 0.0)).is_none());
+        assert!(cfg.coord_of(&Point3::new(10.0, 100.0, 0.0)).is_none());
+        assert!(cfg.coord_of(&Point3::new(10.0, 0.0, 5.0)).is_none());
+        assert!(cfg.coord_of(&Point3::new(10.0, 0.0, 0.0)).is_some());
+    }
+
+    #[test]
+    fn coord_mapping_is_consistent_with_pillar_size() {
+        let cfg = PillarizationConfig::kitti_like();
+        let c = cfg.coord_of(&Point3::new(0.0, -39.68, 0.0)).unwrap();
+        assert_eq!(c, PillarCoord::new(0, 0));
+        let c = cfg.coord_of(&Point3::new(0.17, -39.50, 0.0)).unwrap();
+        assert_eq!(c, PillarCoord::new(1, 1));
+    }
+
+    #[test]
+    fn pillarize_groups_points_and_sorts_coords() {
+        let cfg = PillarizationConfig::kitti_like();
+        let pts = vec![
+            Point3::new(5.0, 5.0, 0.0),
+            Point3::new(5.01, 5.01, 0.1),
+            Point3::new(30.0, -20.0, 0.0),
+        ];
+        let pc = pillarize(&pts, &cfg);
+        assert_eq!(pc.num_active(), 2);
+        // CPR order: sorted row-major.
+        assert!(pc.active_coords.windows(2).all(|w| w[0] < w[1]));
+        let total_points: usize = pc.points_per_pillar.iter().map(Vec::len).sum();
+        assert_eq!(total_points, 3);
+    }
+
+    #[test]
+    fn max_points_per_pillar_is_enforced() {
+        let mut cfg = PillarizationConfig::kitti_like();
+        cfg.max_points_per_pillar = 4;
+        let pts: Vec<Point3> = (0..20).map(|i| Point3::new(5.0, 5.0, -1.0 + i as f64 * 0.05)).collect();
+        let pc = pillarize(&pts, &cfg);
+        assert_eq!(pc.num_active(), 1);
+        assert_eq!(pc.points_per_pillar[0].len(), 4);
+    }
+
+    #[test]
+    fn pattern_tensor_matches_active_count() {
+        let cfg = PillarizationConfig::kitti_like();
+        let pts = vec![Point3::new(1.0, 0.0, 0.0), Point3::new(60.0, 30.0, 0.0)];
+        let pc = pillarize(&pts, &cfg);
+        let t = pc.to_pattern_tensor(64);
+        assert_eq!(t.num_active(), pc.num_active());
+        assert_eq!(t.channels(), 64);
+        assert!(t.check_invariants());
+    }
+
+    #[test]
+    fn empty_cloud_gives_empty_pillars() {
+        let pc = pillarize(&[], &PillarizationConfig::kitti_like());
+        assert_eq!(pc.num_active(), 0);
+        assert_eq!(pc.occupancy(), 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Silicon area model for accelerator components.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component area constants (mm², 32 nm-class).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Area of one int8 MAC processing element (including its register file
+    /// slice), mm².
+    pub pe_mm2: f64,
+    /// SRAM area per KiB, mm².
+    pub sram_per_kib_mm2: f64,
+    /// Fixed control/NoC overhead, mm².
+    pub control_mm2: f64,
+}
+
+impl AreaModel {
+    /// 32 nm-class constants.
+    #[must_use]
+    pub fn asic_32nm() -> Self {
+        Self {
+            pe_mm2: 0.0012,
+            sram_per_kib_mm2: 0.012,
+            control_mm2: 0.35,
+        }
+    }
+
+    /// Area of a PE array with the given number of processing elements.
+    #[must_use]
+    pub fn pe_array_mm2(&self, num_pes: usize) -> f64 {
+        self.pe_mm2 * num_pes as f64
+    }
+
+    /// Area of SRAM buffers totalling `kib` KiB.
+    #[must_use]
+    pub fn sram_mm2(&self, kib: u64) -> f64 {
+        self.sram_per_kib_mm2 * kib as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_with_pe_count() {
+        let a = AreaModel::asic_32nm();
+        assert!((a.pe_array_mm2(4096) - 16.0 * a.pe_array_mm2(256)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_area_scales_with_capacity() {
+        let a = AreaModel::asic_32nm();
+        assert!(a.sram_mm2(512) > a.sram_mm2(64));
+    }
+}

@@ -1,0 +1,163 @@
+//! Direct-mapped cache model.
+//!
+//! Used by the cache-based baselines (the SpConv-library execution model and
+//! the PointAcc accelerator model): sparse gather/scatter through a
+//! direct-mapped cache suffers conflict misses near active-tile boundaries,
+//! which is exactly the effect Fig. 6(c) and Fig. 14 quantify.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Number of hits.
+    pub hits: u64,
+    /// Number of misses (each triggers a line fill from DRAM).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A direct-mapped cache with configurable capacity and line size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectMappedCache {
+    line_bytes: u64,
+    num_lines: u64,
+    tags: Vec<Option<u64>>,
+    stats: CacheStats,
+}
+
+impl DirectMappedCache {
+    /// Creates a cache with the given capacity (KiB) and line size (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a multiple of the line size or either is
+    /// zero.
+    #[must_use]
+    pub fn new(capacity_kib: u64, line_bytes: u64) -> Self {
+        assert!(capacity_kib > 0 && line_bytes > 0, "sizes must be non-zero");
+        let capacity = capacity_kib * 1024;
+        assert_eq!(capacity % line_bytes, 0, "capacity must be a multiple of the line size");
+        let num_lines = capacity / line_bytes;
+        Self {
+            line_bytes,
+            num_lines,
+            tags: vec![None; num_lines as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache line size in bytes.
+    #[must_use]
+    pub const fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accesses the byte address `addr`; returns `true` on a hit. A miss
+    /// installs the line.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.line_bytes;
+        let index = (line % self.num_lines) as usize;
+        let tag = line / self.num_lines;
+        self.stats.accesses += 1;
+        if self.tags[index] == Some(tag) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.tags[index] = Some(tag);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Accesses a `bytes`-long object starting at `addr`, touching every line
+    /// it spans. Returns the number of misses incurred.
+    pub fn access_range(&mut self, addr: u64, bytes: u64) -> u64 {
+        let first = addr / self.line_bytes;
+        let last = (addr + bytes.max(1) - 1) / self.line_bytes;
+        let mut misses = 0;
+        for line in first..=last {
+            if !self.access(line * self.line_bytes) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub const fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(None);
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = DirectMappedCache::new(1, 64);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63));
+        assert!(!c.access(64));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn conflicting_lines_evict_each_other() {
+        // 1 KiB / 64 B = 16 lines; addresses 0 and 1024 map to the same index.
+        let mut c = DirectMappedCache::new(1, 64);
+        assert!(!c.access(0));
+        assert!(!c.access(1024));
+        assert!(!c.access(0), "line was evicted by the conflicting access");
+        assert_eq!(c.stats().miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn sequential_streaming_has_low_miss_rate_per_byte() {
+        let mut c = DirectMappedCache::new(32, 64);
+        for addr in (0..32 * 1024).step_by(4) {
+            c.access(addr);
+        }
+        // One miss per 64-byte line, i.e. 1/16 of the 4-byte accesses.
+        assert!(c.stats().miss_rate() < 0.07);
+    }
+
+    #[test]
+    fn access_range_touches_all_lines() {
+        let mut c = DirectMappedCache::new(4, 64);
+        let misses = c.access_range(60, 72); // spans lines 0 and 1 and 2
+        assert_eq!(misses, 3);
+        assert_eq!(c.access_range(60, 72), 0);
+        c.reset();
+        assert_eq!(c.stats().accesses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn capacity_must_be_line_multiple() {
+        let _ = DirectMappedCache::new(1, 100);
+    }
+}

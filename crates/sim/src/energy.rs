@@ -1,0 +1,148 @@
+//! Energy constants and per-component energy accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Technology energy constants (per-operation energies in picojoules).
+///
+/// Approximate 32 nm-class values: an int8 MAC costs a fraction of a
+/// picojoule, an SRAM access a few picojoules per byte-row, and DRAM tens of
+/// picojoules per byte — the 1 : ~10 : ~100 ordering all accelerator papers
+/// rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    mac_pj: f64,
+    sram_per_byte_pj: f64,
+    dram_per_byte_pj: f64,
+    leakage_mw: f64,
+}
+
+impl EnergyModel {
+    /// Constants for a 32 nm-class ASIC at 1 GHz.
+    #[must_use]
+    pub fn asic_32nm() -> Self {
+        Self {
+            mac_pj: 0.3,
+            sram_per_byte_pj: 1.2,
+            dram_per_byte_pj: 40.0,
+            leakage_mw: 50.0,
+        }
+    }
+
+    /// Energy of one int8 multiply-accumulate (pJ).
+    #[must_use]
+    pub const fn mac_energy_pj(&self) -> f64 {
+        self.mac_pj
+    }
+
+    /// Energy of moving one byte to/from on-chip SRAM (pJ).
+    #[must_use]
+    pub const fn sram_energy_per_byte_pj(&self) -> f64 {
+        self.sram_per_byte_pj
+    }
+
+    /// Energy of moving one byte to/from off-chip DRAM (pJ).
+    #[must_use]
+    pub const fn dram_energy_per_byte_pj(&self) -> f64 {
+        self.dram_per_byte_pj
+    }
+
+    /// Static leakage power (mW).
+    #[must_use]
+    pub const fn leakage_mw(&self) -> f64 {
+        self.leakage_mw
+    }
+
+    /// Builds an energy breakdown from raw activity counts.
+    #[must_use]
+    pub fn breakdown(&self, macs: u64, sram_bytes: u64, dram_bytes: u64, cycles: u64, freq_ghz: f64) -> EnergyBreakdown {
+        let compute_pj = macs as f64 * self.mac_pj;
+        let sram_pj = sram_bytes as f64 * self.sram_per_byte_pj;
+        let dram_pj = dram_bytes as f64 * self.dram_per_byte_pj;
+        let time_s = cycles as f64 / (freq_ghz * 1e9);
+        let leakage_pj = self.leakage_mw * 1e-3 * time_s * 1e12;
+        EnergyBreakdown {
+            compute_pj,
+            sram_pj,
+            dram_pj,
+            leakage_pj,
+        }
+    }
+}
+
+/// Energy split by component (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC array energy.
+    pub compute_pj: f64,
+    /// On-chip SRAM energy.
+    pub sram_pj: f64,
+    /// Off-chip DRAM energy.
+    pub dram_pj: f64,
+    /// Leakage over the run time.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (pJ).
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sram_pj + self.dram_pj + self.leakage_pj
+    }
+
+    /// Total energy in millijoules.
+    #[must_use]
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1e9
+    }
+
+    /// Element-wise sum of two breakdowns.
+    #[must_use]
+    pub fn add(&self, other: &Self) -> Self {
+        Self {
+            compute_pj: self.compute_pj + other.compute_pj,
+            sram_pj: self.sram_pj + other.sram_pj,
+            dram_pj: self.dram_pj + other.dram_pj,
+            leakage_pj: self.leakage_pj + other.leakage_pj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_ordered() {
+        let e = EnergyModel::asic_32nm();
+        assert!(e.mac_energy_pj() < e.sram_energy_per_byte_pj());
+        assert!(e.sram_energy_per_byte_pj() < e.dram_energy_per_byte_pj());
+    }
+
+    #[test]
+    fn breakdown_sums_components() {
+        let e = EnergyModel::asic_32nm();
+        let b = e.breakdown(1_000_000, 10_000, 1_000, 1_000_000, 1.0);
+        assert!(b.compute_pj > 0.0 && b.sram_pj > 0.0 && b.dram_pj > 0.0 && b.leakage_pj > 0.0);
+        assert!((b.total_pj() - (b.compute_pj + b.sram_pj + b.dram_pj + b.leakage_pj)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_macs_means_less_compute_energy() {
+        let e = EnergyModel::asic_32nm();
+        let dense = e.breakdown(10_000_000, 0, 0, 0, 1.0);
+        let sparse = e.breakdown(2_000_000, 0, 0, 0, 1.0);
+        assert!((dense.compute_pj / sparse.compute_pj - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_combines_breakdowns() {
+        let a = EnergyBreakdown {
+            compute_pj: 1.0,
+            sram_pj: 2.0,
+            dram_pj: 3.0,
+            leakage_pj: 4.0,
+        };
+        let b = a.add(&a);
+        assert_eq!(b.total_pj(), 20.0);
+    }
+}

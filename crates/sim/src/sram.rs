@@ -1,0 +1,81 @@
+//! On-chip SRAM energy and area model (CACTI substitute).
+
+use serde::{Deserialize, Serialize};
+
+/// A single-ported SRAM buffer: capacity, access energy, and area estimate.
+///
+/// Per-byte access energy grows slowly with capacity and area grows roughly
+/// linearly — the relationships CACTI reports for small buffers at 32 nm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    capacity_bytes: u64,
+}
+
+impl SramModel {
+    /// Creates a buffer of the given capacity in kibibytes.
+    #[must_use]
+    pub const fn new_kib(capacity_kib: u64) -> Self {
+        Self {
+            capacity_bytes: capacity_kib * 1024,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Capacity in kibibytes.
+    #[must_use]
+    pub const fn capacity_kib(&self) -> u64 {
+        self.capacity_bytes / 1024
+    }
+
+    /// Energy to read or write one byte (pJ); grows with the square root of
+    /// capacity (longer bit/word lines).
+    #[must_use]
+    pub fn energy_per_byte_pj(&self) -> f64 {
+        let kib = self.capacity_bytes as f64 / 1024.0;
+        0.6 + 0.15 * kib.sqrt()
+    }
+
+    /// Estimated area in mm² (≈0.012 mm² per KiB at 32 nm plus periphery).
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        let kib = self.capacity_bytes as f64 / 1024.0;
+        0.01 + 0.012 * kib
+    }
+
+    /// Energy (pJ) for transferring `bytes` through this buffer.
+    #[must_use]
+    pub fn access_energy_pj(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.energy_per_byte_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_buffers_cost_more_per_byte() {
+        let small = SramModel::new_kib(32);
+        let big = SramModel::new_kib(256);
+        assert!(big.energy_per_byte_pj() > small.energy_per_byte_pj());
+        assert!(big.area_mm2() > small.area_mm2());
+    }
+
+    #[test]
+    fn capacity_round_trip() {
+        let s = SramModel::new_kib(64);
+        assert_eq!(s.capacity_bytes(), 65536);
+        assert_eq!(s.capacity_kib(), 64);
+    }
+
+    #[test]
+    fn access_energy_scales_linearly_with_bytes() {
+        let s = SramModel::new_kib(32);
+        assert!((s.access_energy_pj(200) - 2.0 * s.access_energy_pj(100)).abs() < 1e-9);
+    }
+}

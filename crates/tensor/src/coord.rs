@@ -1,0 +1,239 @@
+//! Pillar coordinates and BEV grid shapes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A pillar coordinate on the bird's-eye-view (BEV) grid.
+///
+/// Coordinates are `(row, col)` pairs; the row corresponds to the X (forward)
+/// binning of the point cloud and the column to the Y (lateral) binning, as in
+/// PointPillars. Ordering is row-major (row first, then column), which is the
+/// ordering required by the compressed-pillar-row (CPR) format and exploited
+/// by SPADE's rule generation.
+///
+/// # Example
+///
+/// ```
+/// use spade_tensor::PillarCoord;
+///
+/// let a = PillarCoord::new(1, 5);
+/// let b = PillarCoord::new(2, 0);
+/// assert!(a < b, "row-major ordering: row 1 precedes row 2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PillarCoord {
+    /// Row index on the BEV grid (X binning).
+    pub row: u32,
+    /// Column index on the BEV grid (Y binning).
+    pub col: u32,
+}
+
+impl PillarCoord {
+    /// Creates a new pillar coordinate.
+    #[must_use]
+    pub const fn new(row: u32, col: u32) -> Self {
+        Self { row, col }
+    }
+
+    /// Returns the linear (row-major) index of this coordinate on a grid of
+    /// the given shape.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spade_tensor::{GridShape, PillarCoord};
+    /// let g = GridShape::new(4, 8);
+    /// assert_eq!(PillarCoord::new(2, 3).linear_index(g), 2 * 8 + 3);
+    /// ```
+    #[must_use]
+    pub const fn linear_index(self, grid: GridShape) -> usize {
+        self.row as usize * grid.width as usize + self.col as usize
+    }
+
+    /// Returns `true` if the coordinate lies inside the given grid.
+    #[must_use]
+    pub const fn in_bounds(self, grid: GridShape) -> bool {
+        self.row < grid.height && self.col < grid.width
+    }
+
+    /// Offsets the coordinate by a signed `(d_row, d_col)` pair, returning
+    /// `None` if the result falls outside the grid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use spade_tensor::{GridShape, PillarCoord};
+    /// let g = GridShape::new(4, 4);
+    /// assert_eq!(
+    ///     PillarCoord::new(0, 0).offset(1, 1, g),
+    ///     Some(PillarCoord::new(1, 1))
+    /// );
+    /// assert_eq!(PillarCoord::new(0, 0).offset(-1, 0, g), None);
+    /// ```
+    #[must_use]
+    pub fn offset(self, d_row: i32, d_col: i32, grid: GridShape) -> Option<Self> {
+        let row = i64::from(self.row) + i64::from(d_row);
+        let col = i64::from(self.col) + i64::from(d_col);
+        if row < 0 || col < 0 {
+            return None;
+        }
+        let candidate = Self::new(row as u32, col as u32);
+        candidate.in_bounds(grid).then_some(candidate)
+    }
+}
+
+impl fmt::Display for PillarCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+impl From<(u32, u32)> for PillarCoord {
+    fn from((row, col): (u32, u32)) -> Self {
+        Self::new(row, col)
+    }
+}
+
+/// The shape of a BEV grid: `height` rows by `width` columns.
+///
+/// # Example
+///
+/// ```
+/// use spade_tensor::GridShape;
+/// let g = GridShape::new(496, 432); // KITTI-like PointPillars grid
+/// assert_eq!(g.num_cells(), 496 * 432);
+/// assert_eq!(g.downsample(2), GridShape::new(248, 216));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridShape {
+    /// Number of rows.
+    pub height: u32,
+    /// Number of columns.
+    pub width: u32,
+}
+
+impl GridShape {
+    /// Creates a new grid shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(height: u32, width: u32) -> Self {
+        assert!(height > 0 && width > 0, "grid dimensions must be non-zero");
+        Self { height, width }
+    }
+
+    /// Total number of cells on the grid.
+    #[must_use]
+    pub const fn num_cells(self) -> usize {
+        self.height as usize * self.width as usize
+    }
+
+    /// Returns the grid obtained by downsampling with the given stride
+    /// (ceiling division), as a strided convolution does.
+    #[must_use]
+    pub fn downsample(self, stride: u32) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        Self {
+            height: self.height.div_ceil(stride),
+            width: self.width.div_ceil(stride),
+        }
+    }
+
+    /// Returns the grid obtained by upsampling with the given factor, as a
+    /// deconvolution (transposed convolution) does.
+    #[must_use]
+    pub fn upsample(self, factor: u32) -> Self {
+        assert!(factor > 0, "factor must be non-zero");
+        Self {
+            height: self.height * factor,
+            width: self.width * factor,
+        }
+    }
+}
+
+impl fmt::Display for GridShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_ordering_is_row_major() {
+        let mut coords = vec![
+            PillarCoord::new(1, 0),
+            PillarCoord::new(0, 5),
+            PillarCoord::new(0, 1),
+            PillarCoord::new(1, 3),
+        ];
+        coords.sort();
+        assert_eq!(
+            coords,
+            vec![
+                PillarCoord::new(0, 1),
+                PillarCoord::new(0, 5),
+                PillarCoord::new(1, 0),
+                PillarCoord::new(1, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn linear_index_round_trip() {
+        let grid = GridShape::new(7, 11);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..7 {
+            for c in 0..11 {
+                let idx = PillarCoord::new(r, c).linear_index(grid);
+                assert!(idx < grid.num_cells());
+                assert!(seen.insert(idx), "linear indices must be unique");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_in_and_out_of_bounds() {
+        let grid = GridShape::new(3, 3);
+        let c = PillarCoord::new(1, 1);
+        assert_eq!(c.offset(1, 1, grid), Some(PillarCoord::new(2, 2)));
+        assert_eq!(c.offset(-1, -1, grid), Some(PillarCoord::new(0, 0)));
+        assert_eq!(c.offset(2, 0, grid), None);
+        assert_eq!(c.offset(0, 2, grid), None);
+        assert_eq!(PillarCoord::new(0, 0).offset(-1, 0, grid), None);
+    }
+
+    #[test]
+    fn downsample_rounds_up() {
+        assert_eq!(GridShape::new(5, 5).downsample(2), GridShape::new(3, 3));
+        assert_eq!(GridShape::new(4, 6).downsample(2), GridShape::new(2, 3));
+        assert_eq!(GridShape::new(1, 1).downsample(2), GridShape::new(1, 1));
+    }
+
+    #[test]
+    fn upsample_multiplies() {
+        assert_eq!(GridShape::new(3, 4).upsample(2), GridShape::new(6, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_grid_panics() {
+        let _ = GridShape::new(0, 4);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(PillarCoord::new(2, 3).to_string(), "(2, 3)");
+        assert_eq!(GridShape::new(4, 8).to_string(), "4x8");
+    }
+
+    #[test]
+    fn coord_from_tuple() {
+        let c: PillarCoord = (3u32, 4u32).into();
+        assert_eq!(c, PillarCoord::new(3, 4));
+    }
+}

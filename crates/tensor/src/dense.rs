@@ -1,0 +1,259 @@
+//! Dense `C × H × W` BEV pseudo-images.
+
+use crate::coord::{GridShape, PillarCoord};
+use crate::cpr::CprTensor;
+use crate::error::TensorError;
+use serde::{Deserialize, Serialize};
+
+/// A dense channel-major BEV tensor (`C × H × W`), the "pseudo-image" produced
+/// by densifying sparse pillars in the original PointPillars pipeline.
+///
+/// # Example
+///
+/// ```
+/// use spade_tensor::{DenseTensor, GridShape};
+///
+/// let mut d = DenseTensor::zeros(2, GridShape::new(3, 3));
+/// d.set(1, 2, 2, 5.0);
+/// assert_eq!(d.get(1, 2, 2), 5.0);
+/// assert_eq!(d.num_active_pillars(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseTensor {
+    channels: usize,
+    grid: GridShape,
+    data: Vec<f32>,
+}
+
+impl DenseTensor {
+    /// Creates a zero-filled tensor.
+    #[must_use]
+    pub fn zeros(channels: usize, grid: GridShape) -> Self {
+        Self {
+            channels,
+            grid,
+            data: vec![0.0; channels * grid.num_cells()],
+        }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub const fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// BEV grid shape.
+    #[must_use]
+    pub const fn grid(&self) -> GridShape {
+        self.grid
+    }
+
+    /// Shape as `(channels, height, width)`.
+    #[must_use]
+    pub const fn shape(&self) -> (usize, u32, u32) {
+        (self.channels, self.grid.height, self.grid.width)
+    }
+
+    fn index(&self, ch: usize, row: u32, col: u32) -> usize {
+        debug_assert!(ch < self.channels && row < self.grid.height && col < self.grid.width);
+        (ch * self.grid.height as usize + row as usize) * self.grid.width as usize + col as usize
+    }
+
+    /// Reads the value at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn get(&self, ch: usize, row: u32, col: u32) -> f32 {
+        assert!(
+            ch < self.channels && row < self.grid.height && col < self.grid.width,
+            "dense tensor index ({ch}, {row}, {col}) out of bounds for shape {:?}",
+            self.shape()
+        );
+        self.data[self.index(ch, row, col)]
+    }
+
+    /// Writes the value at `(channel, row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn set(&mut self, ch: usize, row: u32, col: u32, value: f32) {
+        assert!(
+            ch < self.channels && row < self.grid.height && col < self.grid.width,
+            "dense tensor index ({ch}, {row}, {col}) out of bounds for shape {:?}",
+            self.shape()
+        );
+        let idx = self.index(ch, row, col);
+        self.data[idx] = value;
+    }
+
+    /// Adds `value` to the element at `(channel, row, col)`.
+    pub fn add(&mut self, ch: usize, row: u32, col: u32, value: f32) {
+        let idx = self.index(ch, row, col);
+        self.data[idx] += value;
+    }
+
+    /// Returns the channel vector at the given BEV cell.
+    #[must_use]
+    pub fn pillar_vector(&self, coord: PillarCoord) -> Vec<f32> {
+        (0..self.channels)
+            .map(|ch| self.get(ch, coord.row, coord.col))
+            .collect()
+    }
+
+    /// Returns `true` if any channel at the given cell is non-zero.
+    #[must_use]
+    pub fn is_active(&self, coord: PillarCoord) -> bool {
+        (0..self.channels).any(|ch| self.get(ch, coord.row, coord.col) != 0.0)
+    }
+
+    /// Number of BEV cells with at least one non-zero channel.
+    #[must_use]
+    pub fn num_active_pillars(&self) -> usize {
+        let mut n = 0;
+        for row in 0..self.grid.height {
+            for col in 0..self.grid.width {
+                if self.is_active(PillarCoord::new(row, col)) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Fraction of scalar elements that are exactly zero (element-wise
+    /// sparsity, as exploited by conventional sparse Conv2D accelerators).
+    #[must_use]
+    pub fn element_sparsity(&self) -> f64 {
+        let zeros = self.data.iter().filter(|v| **v == 0.0).count();
+        zeros as f64 / self.data.len() as f64
+    }
+
+    /// Converts back to a CPR tensor, keeping only active pillars.
+    #[must_use]
+    pub fn to_cpr(&self) -> CprTensor {
+        let mut entries = Vec::new();
+        for row in 0..self.grid.height {
+            for col in 0..self.grid.width {
+                let c = PillarCoord::new(row, col);
+                if self.is_active(c) {
+                    entries.push((c, self.pillar_vector(c)));
+                }
+            }
+        }
+        CprTensor::from_entries(self.grid, self.channels, entries)
+            .expect("coordinates scanned in row-major order are valid CPR input")
+    }
+
+    /// Element-wise sum with another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn try_add(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+        Ok(out)
+    }
+
+    /// Applies ReLU in place (clamps negative values to zero).
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Raw data slice in `C × H × W` order.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_active_pillars() {
+        let d = DenseTensor::zeros(4, GridShape::new(6, 6));
+        assert_eq!(d.num_active_pillars(), 0);
+        assert_eq!(d.element_sparsity(), 1.0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut d = DenseTensor::zeros(3, GridShape::new(4, 5));
+        d.set(2, 3, 4, -1.5);
+        assert_eq!(d.get(2, 3, 4), -1.5);
+        d.add(2, 3, 4, 0.5);
+        assert_eq!(d.get(2, 3, 4), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let d = DenseTensor::zeros(1, GridShape::new(2, 2));
+        let _ = d.get(0, 2, 0);
+    }
+
+    #[test]
+    fn cpr_round_trip() {
+        let grid = GridShape::new(5, 5);
+        let mut d = DenseTensor::zeros(2, grid);
+        d.set(0, 1, 1, 1.0);
+        d.set(1, 1, 1, 2.0);
+        d.set(0, 4, 0, 3.0);
+        let cpr = d.to_cpr();
+        assert_eq!(cpr.num_active(), 2);
+        assert_eq!(cpr.to_dense(), d);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut d = DenseTensor::zeros(1, GridShape::new(2, 2));
+        d.set(0, 0, 0, -3.0);
+        d.set(0, 1, 1, 2.0);
+        d.relu_in_place();
+        assert_eq!(d.get(0, 0, 0), 0.0);
+        assert_eq!(d.get(0, 1, 1), 2.0);
+    }
+
+    #[test]
+    fn try_add_checks_shape() {
+        let a = DenseTensor::zeros(1, GridShape::new(2, 2));
+        let b = DenseTensor::zeros(2, GridShape::new(2, 2));
+        assert!(a.try_add(&b).is_err());
+        let c = a.try_add(&a).unwrap();
+        assert_eq!(c.shape(), a.shape());
+    }
+
+    #[test]
+    fn pillar_vector_and_is_active() {
+        let mut d = DenseTensor::zeros(3, GridShape::new(3, 3));
+        d.set(1, 2, 0, 7.0);
+        let c = PillarCoord::new(2, 0);
+        assert!(d.is_active(c));
+        assert_eq!(d.pillar_vector(c), vec![0.0, 7.0, 0.0]);
+        assert!(!d.is_active(PillarCoord::new(0, 0)));
+    }
+
+    #[test]
+    fn element_sparsity_counts_zeros() {
+        let mut d = DenseTensor::zeros(1, GridShape::new(2, 2));
+        d.set(0, 0, 0, 1.0);
+        assert!((d.element_sparsity() - 0.75).abs() < 1e-12);
+    }
+}

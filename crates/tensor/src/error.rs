@@ -1,0 +1,127 @@
+//! Error types for tensor construction and conversion.
+
+use std::fmt;
+
+/// Errors produced while constructing or converting tensors.
+///
+/// # Example
+///
+/// ```
+/// use spade_tensor::{CprTensor, GridShape, PillarCoord, TensorError};
+///
+/// let mut b = CprTensor::builder(GridShape::new(2, 2), 3);
+/// let err = b.push(PillarCoord::new(5, 0), vec![0.0; 3]).unwrap_err();
+/// assert!(matches!(err, TensorError::CoordOutOfBounds { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// A pillar coordinate lies outside the grid.
+    CoordOutOfBounds {
+        /// Offending row index.
+        row: u32,
+        /// Offending column index.
+        col: u32,
+        /// Grid height.
+        height: u32,
+        /// Grid width.
+        width: u32,
+    },
+    /// A channel vector has the wrong number of elements.
+    ChannelMismatch {
+        /// Number of channels expected by the tensor.
+        expected: usize,
+        /// Number of channels supplied.
+        found: usize,
+    },
+    /// A pillar was pushed out of CPR order (rows must be non-decreasing and
+    /// columns strictly increasing within a row).
+    OutOfOrder {
+        /// Coordinate of the previously pushed pillar.
+        previous: (u32, u32),
+        /// Coordinate of the offending pillar.
+        current: (u32, u32),
+    },
+    /// The same coordinate was pushed twice.
+    DuplicateCoord {
+        /// Duplicated row index.
+        row: u32,
+        /// Duplicated column index.
+        col: u32,
+    },
+    /// A dense tensor shape mismatch (e.g. in element-wise combination).
+    ShapeMismatch {
+        /// Left-hand shape `(channels, height, width)`.
+        left: (usize, u32, u32),
+        /// Right-hand shape `(channels, height, width)`.
+        right: (usize, u32, u32),
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::CoordOutOfBounds {
+                row,
+                col,
+                height,
+                width,
+            } => write!(
+                f,
+                "pillar coordinate ({row}, {col}) is outside the {height}x{width} grid"
+            ),
+            TensorError::ChannelMismatch { expected, found } => write!(
+                f,
+                "channel vector has {found} elements but the tensor expects {expected}"
+            ),
+            TensorError::OutOfOrder { previous, current } => write!(
+                f,
+                "pillar ({}, {}) pushed after ({}, {}) violates CPR ordering",
+                current.0, current.1, previous.0, previous.1
+            ),
+            TensorError::DuplicateCoord { row, col } => {
+                write!(f, "pillar coordinate ({row}, {col}) was pushed twice")
+            }
+            TensorError::ShapeMismatch { left, right } => write!(
+                f,
+                "dense tensor shapes {left:?} and {right:?} do not match"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = TensorError::CoordOutOfBounds {
+            row: 9,
+            col: 3,
+            height: 4,
+            width: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "pillar coordinate (9, 3) is outside the 4x4 grid"
+        );
+    }
+
+    #[test]
+    fn display_channel_mismatch() {
+        let e = TensorError::ChannelMismatch {
+            expected: 64,
+            found: 32,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

@@ -1,0 +1,270 @@
+//! Symmetric int8 quantization of pillar features.
+//!
+//! The paper's sparse models use 8-bit multiplication with 32-bit
+//! accumulation (Table I). This module provides the quantization parameters
+//! and a quantized view of a [`CprTensor`], used both by the functional
+//! sparse-convolution kernels and by the accelerator model (the MXU operates
+//! on int8 operands and int32 partial sums).
+
+use crate::cpr::CprTensor;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric per-tensor quantization parameters: `real = scale * int8`.
+///
+/// # Example
+///
+/// ```
+/// use spade_tensor::QuantParams;
+///
+/// let q = QuantParams::from_abs_max(6.35);
+/// let code = q.quantize(3.175);
+/// assert!((q.dequantize(code) - 3.175).abs() < q.scale());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Maximum representable int8 magnitude.
+    pub const QMAX: i32 = 127;
+
+    /// Creates parameters with an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(scale: f32) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "quantization scale must be positive and finite, got {scale}"
+        );
+        Self { scale }
+    }
+
+    /// Derives parameters so that `abs_max` maps to the largest int8 code.
+    ///
+    /// A zero or non-finite `abs_max` falls back to a scale of 1.
+    #[must_use]
+    pub fn from_abs_max(abs_max: f32) -> Self {
+        if !abs_max.is_finite() || abs_max <= 0.0 {
+            return Self { scale: 1.0 };
+        }
+        Self {
+            scale: abs_max / Self::QMAX as f32,
+        }
+    }
+
+    /// Derives parameters from the absolute maximum of a data slice.
+    #[must_use]
+    pub fn from_data(data: &[f32]) -> Self {
+        let abs_max = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        Self::from_abs_max(abs_max)
+    }
+
+    /// The quantization step size.
+    #[must_use]
+    pub const fn scale(self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes a real value to int8 (rounded, saturated).
+    #[must_use]
+    pub fn quantize(self, value: f32) -> i8 {
+        let q = (value / self.scale).round();
+        q.clamp(-(Self::QMAX as f32), Self::QMAX as f32) as i8
+    }
+
+    /// Dequantizes an int8 code back to a real value.
+    #[must_use]
+    pub fn dequantize(self, code: i8) -> f32 {
+        f32::from(code) * self.scale
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        Self { scale: 1.0 }
+    }
+}
+
+/// An int8-quantized copy of a [`CprTensor`]'s feature data.
+///
+/// The coordinate structure is shared with the source tensor (same CPR
+/// ordering); only the channel payload is quantized. The accelerator model
+/// consumes this representation when counting multiply-accumulate operations
+/// and SRAM/DRAM traffic in bytes.
+///
+/// # Example
+///
+/// ```
+/// use spade_tensor::{CprTensor, GridShape, PillarCoord, QuantizedCprTensor};
+///
+/// let t = CprTensor::from_entries(
+///     GridShape::new(2, 2),
+///     2,
+///     vec![(PillarCoord::new(0, 0), vec![1.0, -2.0])],
+/// ).unwrap();
+/// let q = QuantizedCprTensor::quantize(&t);
+/// assert_eq!(q.num_active(), 1);
+/// let back = q.dequantize();
+/// assert!((back.features(0)[1] + 2.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedCprTensor {
+    params: QuantParams,
+    channels: usize,
+    grid: crate::GridShape,
+    coords: Vec<crate::PillarCoord>,
+    codes: Vec<i8>,
+}
+
+impl QuantizedCprTensor {
+    /// Quantizes the feature data of a CPR tensor with per-tensor symmetric
+    /// int8 parameters derived from its absolute maximum.
+    #[must_use]
+    pub fn quantize(tensor: &CprTensor) -> Self {
+        let params = QuantParams::from_data(tensor.feature_data());
+        Self::quantize_with(tensor, params)
+    }
+
+    /// Quantizes with explicit parameters.
+    #[must_use]
+    pub fn quantize_with(tensor: &CprTensor, params: QuantParams) -> Self {
+        let codes = tensor
+            .feature_data()
+            .iter()
+            .map(|&v| params.quantize(v))
+            .collect();
+        Self {
+            params,
+            channels: tensor.channels(),
+            grid: tensor.grid(),
+            coords: tensor.coords(),
+            codes,
+        }
+    }
+
+    /// Quantization parameters in use.
+    #[must_use]
+    pub const fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// Number of active pillars.
+    #[must_use]
+    pub fn num_active(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Channels per pillar.
+    #[must_use]
+    pub const fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Active pillar coordinates (CPR order).
+    #[must_use]
+    pub fn coords(&self) -> &[crate::PillarCoord] {
+        &self.coords
+    }
+
+    /// Int8 codes of the `i`-th pillar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_active()`.
+    #[must_use]
+    pub fn codes(&self, i: usize) -> &[i8] {
+        assert!(i < self.num_active(), "pillar index {i} out of range");
+        &self.codes[i * self.channels..(i + 1) * self.channels]
+    }
+
+    /// Total payload size in bytes (one byte per channel element).
+    #[must_use]
+    pub fn payload_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Reconstructs a floating-point CPR tensor (lossy).
+    #[must_use]
+    pub fn dequantize(&self) -> CprTensor {
+        let entries = self
+            .coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (
+                    c,
+                    self.codes(i)
+                        .iter()
+                        .map(|&q| self.params.dequantize(q))
+                        .collect(),
+                )
+            })
+            .collect();
+        CprTensor::from_entries(self.grid, self.channels, entries)
+            .expect("coordinates come from a valid CPR tensor")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridShape, PillarCoord};
+
+    #[test]
+    fn quantize_round_trip_within_one_step() {
+        let q = QuantParams::from_abs_max(10.0);
+        for v in [-10.0f32, -3.3, 0.0, 0.05, 9.99] {
+            let code = q.quantize(v);
+            assert!((q.dequantize(code) - v).abs() <= q.scale() * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QuantParams::from_abs_max(1.0);
+        assert_eq!(q.quantize(100.0), 127);
+        assert_eq!(q.quantize(-100.0), -127);
+    }
+
+    #[test]
+    fn from_data_handles_all_zero() {
+        let q = QuantParams::from_data(&[0.0, 0.0]);
+        assert_eq!(q.scale(), 1.0);
+        assert_eq!(q.quantize(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn new_rejects_zero_scale() {
+        let _ = QuantParams::new(0.0);
+    }
+
+    #[test]
+    fn quantized_tensor_preserves_structure() {
+        let t = CprTensor::from_entries(
+            GridShape::new(4, 4),
+            3,
+            vec![
+                (PillarCoord::new(0, 0), vec![0.5, -1.0, 2.0]),
+                (PillarCoord::new(3, 3), vec![-2.0, 0.0, 1.5]),
+            ],
+        )
+        .unwrap();
+        let q = QuantizedCprTensor::quantize(&t);
+        assert_eq!(q.num_active(), 2);
+        assert_eq!(q.channels(), 3);
+        assert_eq!(q.payload_bytes(), 6);
+        assert_eq!(q.coords()[1], PillarCoord::new(3, 3));
+        let back = q.dequantize();
+        assert_eq!(back.num_active(), 2);
+        for i in 0..2 {
+            for (a, b) in back.features(i).iter().zip(t.features(i)) {
+                assert!((a - b).abs() < q.params().scale());
+            }
+        }
+    }
+}

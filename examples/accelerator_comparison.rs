@@ -1,0 +1,58 @@
+//! Accelerator comparison: run every sparse model of the paper's zoo on
+//! SPADE (high-end and low-end), the ideal dense accelerator, the PointAcc
+//! model, and the GPU/Jetson platform models.
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use spade::baselines::{DenseAccelerator, Platform, PlatformKind, PointAccModel};
+use spade::core::{SpadeAccelerator, SpadeConfig};
+use spade::nn::graph::{execute_pattern, ExecutionContext};
+use spade::nn::{Model, ModelKind};
+use spade::pointcloud::dataset::DatasetKind;
+use spade::pointcloud::DatasetPreset;
+
+fn main() {
+    println!("model | savings | SPADE.HE ms | DenseAcc.HE ms equiv speedup | PointAcc ratio | 2080Ti speedup | Jetson-NX speedup");
+    for kind in ModelKind::SPARSE {
+        let preset = match kind.dataset() {
+            DatasetKind::KittiLike => DatasetPreset::kitti_like(),
+            DatasetKind::NuscenesLike => DatasetPreset::nuscenes_like(),
+        };
+        let frame = preset.generate_frame(3);
+        let pillar_cfg = preset.pillar_config();
+        let model = Model::build(kind);
+        let encoder_macs = (frame.num_points * 9 * 64) as u64;
+        let ctx = ExecutionContext {
+            scene: Some(&frame.scene),
+            pillar_config: Some(&pillar_cfg),
+            ..Default::default()
+        };
+        let (trace, workloads) = execute_pattern(
+            model.spec(),
+            &frame.pillars.active_coords,
+            preset.grid_shape(),
+            encoder_macs,
+            &ctx,
+        );
+
+        let cfg = SpadeConfig::high_end();
+        let spade = SpadeAccelerator::new(cfg).simulate_network(&workloads, trace.encoder_macs);
+        let dense = DenseAccelerator::new(cfg);
+        let pacc = PointAccModel::new(cfg).simulate_network(&workloads, trace.encoder_macs);
+        let gpu = Platform::new(PlatformKind::Gpu2080Ti);
+        let jetson = Platform::new(PlatformKind::JetsonXavierNx);
+
+        println!(
+            "{:<5} | {:>6.1}% | {:>10.3} | {:>27.2}x | {:>13.2}x | {:>13.1}x | {:>16.1}x",
+            kind.name(),
+            trace.computation_savings() * 100.0,
+            spade.latency_ms,
+            dense.speedup_of(&spade, &trace),
+            pacc.total_cycles as f64 / spade.total_cycles as f64,
+            gpu.run(&trace).total_ms() / spade.latency_ms,
+            jetson.run(&trace).total_ms() / spade.latency_ms,
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+use spade::nn::rulegen::{self, RuleGenMethod};
+use spade::nn::{ConvKind, KernelShape, LayerSpec};
+use spade::tensor::{CprTensor, GridShape, PillarCoord};
+
+fn arb_coords(max: usize) -> impl Strategy<Value = Vec<PillarCoord>> {
+    prop::collection::vec((0u32..24, 0u32..24).prop_map(|(r, c)| PillarCoord::new(r, c)), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CPR construction from arbitrary coordinates always satisfies the
+    /// format invariants and preserves the deduplicated coordinate set.
+    #[test]
+    fn cpr_invariants_hold(coords in arb_coords(80)) {
+        let grid = GridShape::new(24, 24);
+        let t = CprTensor::from_coords(grid, 4, &coords);
+        prop_assert!(t.check_invariants());
+        let mut expected: Vec<PillarCoord> = coords.clone();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(t.coords(), expected);
+    }
+
+    /// Dense round trip preserves the sparse tensor exactly.
+    #[test]
+    fn dense_round_trip(coords in arb_coords(60)) {
+        let grid = GridShape::new(24, 24);
+        let t = CprTensor::from_coords(grid, 3, &coords);
+        prop_assert_eq!(t.to_dense().to_cpr(), t);
+    }
+
+    /// All three rule-generation algorithms agree on outputs and rule counts
+    /// for every sparse convolution kind.
+    #[test]
+    fn rulegen_algorithms_agree(coords in arb_coords(40)) {
+        let grid = GridShape::new(24, 24);
+        let t = CprTensor::from_coords(grid, 1, &coords);
+        for kind in [ConvKind::SpConv, ConvKind::SpConvS, ConvKind::SpStConv] {
+            prop_assert!(spade::nn::rulegen::hash::equivalent_to_streaming(&t, kind, KernelShape::k3x3()));
+            prop_assert!(spade::nn::rulegen::sort::equivalent_to_streaming(&t, kind, KernelShape::k3x3()));
+        }
+        prop_assert!(spade::nn::rulegen::hash::equivalent_to_streaming(&t, ConvKind::SpDeconv, KernelShape::k2x2()));
+    }
+
+    /// Submanifold convolution never changes the active set; standard sparse
+    /// convolution never shrinks it; and the streaming rule book stays
+    /// monotone (the property SPADE's hardware depends on).
+    #[test]
+    fn sparse_conv_active_set_properties(coords in arb_coords(40)) {
+        let grid = GridShape::new(24, 24);
+        let t = CprTensor::from_coords(grid, 1, &coords);
+        let sub = rulegen::output_coords(&t, ConvKind::SpConvS, KernelShape::k3x3());
+        prop_assert_eq!(sub, t.coords());
+        let dilated = rulegen::output_coords(&t, ConvKind::SpConv, KernelShape::k3x3());
+        prop_assert!(dilated.len() >= t.num_active());
+        let book = rulegen::generate_rules(&t, ConvKind::SpConv, KernelShape::k3x3());
+        prop_assert!(book.check_monotone());
+    }
+
+    /// The sparse functional convolution matches the dense reference at every
+    /// grid position for random sparse inputs.
+    #[test]
+    fn spconv_matches_dense_reference(coords in arb_coords(12)) {
+        let grid = GridShape::new(10, 10);
+        let t = CprTensor::from_coords(grid, 2, &coords);
+        let layer = LayerSpec::new("p", ConvKind::SpConv, 2, 2);
+        let w = layer.seeded_weights(3);
+        let sparse = layer.execute(&t, &w, false).to_dense();
+        let dense = spade::nn::conv::dense_conv2d_reference(&t.to_dense(), &w, false);
+        for ch in 0..2 {
+            for r in 0..10 {
+                for c in 0..10 {
+                    let a = sparse.get(ch, r, c);
+                    let b = dense.get(ch, r, c);
+                    prop_assert!((a - b).abs() < 1e-3, "mismatch at ({}, {}, {})", ch, r, c);
+                }
+            }
+        }
+    }
+
+    /// The streaming RGU cost model is never slower than the hash-table or
+    /// merge-sort models on dilating workloads.
+    #[test]
+    fn rgu_cost_is_minimal(pillars in 100usize..50_000) {
+        let outputs = pillars * 2;
+        let rules = pillars * 9;
+        let rgu = RuleGenMethod::StreamingRgu.cost(pillars, outputs, rules).cycles;
+        let hash = RuleGenMethod::HashTable.cost(pillars, outputs, rules).cycles;
+        let sort = RuleGenMethod::MergeSort.cost(pillars, outputs, rules).cycles;
+        prop_assert!(rgu <= hash);
+        prop_assert!(rgu <= sort);
+    }
+}
