@@ -6,8 +6,9 @@
 //! "ideal dense accelerator design" reference of the abstract and Fig. 9–12.
 
 use serde::{Deserialize, Serialize};
-use spade_core::{NetworkPerf, SpadeConfig};
-use spade_nn::graph::NetworkTrace;
+use spade_core::gsu::TilePlan;
+use spade_core::{simulate_network_via_layers, Accelerator, LayerPerf, NetworkPerf, SpadeConfig};
+use spade_nn::graph::{dense_macs_for, LayerWorkload, NetworkTrace};
 use spade_sim::{EnergyBreakdown, EnergyModel};
 
 /// The dense accelerator model.
@@ -67,8 +68,14 @@ impl DenseAccelerator {
 
     /// Simulates a network trace densely: every layer executes its
     /// dense-equivalent MAC count regardless of activation sparsity.
+    ///
+    /// This is the *trace-level* estimate: it only sees layer shapes (it
+    /// assumes 3×3 weights and overlaps compute/DRAM across the whole
+    /// network), so it reports slightly different totals than the canonical
+    /// per-layer [`Accelerator`] path. Use the trait for model comparisons;
+    /// use this when only a [`NetworkTrace`] is available.
     #[must_use]
-    pub fn simulate_network(&self, trace: &NetworkTrace) -> DensePerf {
+    pub fn simulate_trace(&self, trace: &NetworkTrace) -> DensePerf {
         let dense_macs = trace.dense_macs();
         let compute_cycles =
             (dense_macs as f64 / (self.config.num_pes() as f64 * self.utilization)).ceil() as u64;
@@ -82,8 +89,7 @@ impl DenseAccelerator {
         }
         let dram_cycles = (dram_bytes as f64 / self.config.dram_bytes_per_cycle).ceil() as u64;
         let total_cycles = compute_cycles.max(dram_cycles);
-        let sram_bytes = dense_macs / self.config.pe_rows as u64
-            + dram_bytes;
+        let sram_bytes = dense_macs / self.config.pe_rows as u64 + dram_bytes;
         let latency_ms = total_cycles as f64 / (self.config.freq_ghz * 1e9) * 1e3;
         let energy = self.energy.breakdown(
             dense_macs,
@@ -104,15 +110,76 @@ impl DenseAccelerator {
     /// Speedup of a SPADE run over this dense baseline for the same network.
     #[must_use]
     pub fn speedup_of(&self, spade: &NetworkPerf, trace: &NetworkTrace) -> f64 {
-        let dense = self.simulate_network(trace);
+        let dense = self.simulate_trace(trace);
         dense.total_cycles as f64 / spade.total_cycles.max(1) as f64
     }
 
     /// Energy-savings factor of a SPADE run over this dense baseline.
     #[must_use]
     pub fn energy_savings_of(&self, spade: &NetworkPerf, trace: &NetworkTrace) -> f64 {
-        let dense = self.simulate_network(trace);
+        let dense = self.simulate_trace(trace);
         dense.energy.total_pj() / spade.energy.total_pj().max(1e-9)
+    }
+}
+
+impl Accelerator for DenseAccelerator {
+    fn name(&self) -> &str {
+        "DenseAcc"
+    }
+
+    /// Executes the layer's dense equivalent: the full input and output grids
+    /// move through DRAM and every grid cell is computed, regardless of which
+    /// pillars are active.
+    fn simulate_layer(&self, workload: &LayerWorkload) -> LayerPerf {
+        let spec = &workload.spec;
+        let c = spec.in_channels as u64;
+        let m = spec.out_channels as u64;
+        let macs = dense_macs_for(spec, workload.input_grid, workload.output_grid);
+        let compute_cycles =
+            (macs as f64 / (self.config.num_pes() as f64 * self.utilization)).ceil() as u64;
+        let input_bytes = workload.input_grid.num_cells() as u64 * c;
+        let output_bytes = workload.output_grid.num_cells() as u64 * m;
+        let weight_bytes = spec.kernel.num_taps() as u64 * c * m;
+        let dram_bytes = input_bytes + output_bytes + weight_bytes;
+        let dram_cycles = (dram_bytes as f64 / self.config.dram_bytes_per_cycle).ceil() as u64;
+        let total_cycles = compute_cycles.max(dram_cycles);
+        let sram_bytes = macs / self.config.pe_rows as u64 + dram_bytes;
+        LayerPerf {
+            name: spec.name.clone(),
+            kind: spec.kind,
+            mxu_cycles: compute_cycles,
+            load_wgt_cycles: 0,
+            copy_psum_cycles: 0,
+            scatter_cycles: 0,
+            rulegen_cycles: 0,
+            total_cycles,
+            macs,
+            dram_bytes,
+            sram_bytes,
+            // Dense execution streams the whole feature map as one tile.
+            tiles: TilePlan {
+                input_tile: workload.input_grid.num_cells(),
+                num_tiles: 1,
+                output_span: workload.output_grid.num_cells(),
+                input_bytes,
+                output_bytes,
+                weight_bytes,
+            },
+        }
+    }
+
+    fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> NetworkPerf {
+        // The encoder runs at DenseAcc's dense-conv utilisation, not the
+        // shared sparse-encoder figure.
+        simulate_network_via_layers(
+            self,
+            workloads,
+            encoder_macs,
+            self.config.num_pes(),
+            self.utilization,
+            self.config.freq_ghz,
+            &self.energy,
+        )
     }
 }
 
@@ -150,7 +217,7 @@ mod tests {
     fn dense_cycles_track_dense_macs() {
         let (trace, _) = run(ModelKind::Spp2);
         let acc = DenseAccelerator::new(SpadeConfig::high_end());
-        let perf = acc.simulate_network(&trace);
+        let perf = acc.simulate_trace(&trace);
         assert_eq!(perf.total_macs, trace.dense_macs());
         assert!(perf.total_cycles > 0);
     }
@@ -176,8 +243,8 @@ mod tests {
     #[test]
     fn high_end_dense_is_faster_than_low_end_dense() {
         let (trace, _) = run(ModelKind::Pp);
-        let he = DenseAccelerator::new(SpadeConfig::high_end()).simulate_network(&trace);
-        let le = DenseAccelerator::new(SpadeConfig::low_end()).simulate_network(&trace);
+        let he = DenseAccelerator::new(SpadeConfig::high_end()).simulate_trace(&trace);
+        let le = DenseAccelerator::new(SpadeConfig::low_end()).simulate_trace(&trace);
         assert!(he.total_cycles < le.total_cycles);
         assert!(he.average_power_w() > 0.0);
     }

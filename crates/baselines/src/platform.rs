@@ -167,8 +167,7 @@ impl Platform {
             // A layer runs through the dense (cuDNN / MKL-DNN) path when it is
             // declared dense or when its input is already a full pseudo-image
             // (the strided and deconvolution layers of the dense baselines).
-            let runs_dense =
-                l.kind == ConvKind::Dense || l.in_active == l.in_grid.num_cells();
+            let runs_dense = l.kind == ConvKind::Dense || l.in_active == l.in_grid.num_cells();
             if runs_dense {
                 dense_ops += 2.0 * l.dense_macs as f64;
             } else {

@@ -7,7 +7,11 @@
 //! active-tile boundaries (≈20 % extra DRAM traffic on SPP workloads).
 
 use serde::{Deserialize, Serialize};
-use spade_core::SpadeConfig;
+use spade_core::gsu::TilePlan;
+use spade_core::{
+    simulate_network_via_layers, Accelerator, LayerPerf, NetworkPerf, SpadeConfig,
+    ENCODER_MXU_UTILIZATION,
+};
 use spade_nn::graph::LayerWorkload;
 use spade_nn::rulegen::RuleGenMethod;
 use spade_sim::{DirectMappedCache, EnergyBreakdown, EnergyModel};
@@ -63,9 +67,10 @@ impl PointAccModel {
         }
     }
 
-    /// Simulates one layer.
+    /// Simulates one layer, returning the PointAcc-specific latency breakdown
+    /// (mapping vs. gather/scatter vs. compute).
     #[must_use]
-    pub fn simulate_layer(&self, workload: &LayerWorkload) -> PointAccLayerPerf {
+    pub fn layer_breakdown(&self, workload: &LayerWorkload) -> PointAccLayerPerf {
         let a = workload.input_coords.len().max(1) as u64;
         let q = workload.output_coords.len().max(1) as u64;
         let r = workload.rules.max(1);
@@ -113,19 +118,26 @@ impl PointAccModel {
         }
     }
 
-    /// Simulates a network.
+    /// Simulates a network, returning the PointAcc-specific result with the
+    /// per-layer latency breakdowns.
     #[must_use]
-    pub fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> PointAccPerf {
+    pub fn network_breakdown(
+        &self,
+        workloads: &[LayerWorkload],
+        encoder_macs: u64,
+    ) -> PointAccPerf {
         let layers: Vec<PointAccLayerPerf> =
-            workloads.iter().map(|w| self.simulate_layer(w)).collect();
-        let encoder_cycles =
-            (encoder_macs as f64 / self.config.num_pes() as f64 / 0.8).ceil() as u64;
-        let total_cycles: u64 =
-            layers.iter().map(|l| l.total_cycles).sum::<u64>() + encoder_cycles;
+            workloads.iter().map(|w| self.layer_breakdown(w)).collect();
+        let encoder_cycles = (encoder_macs as f64
+            / (self.config.num_pes() as f64 * ENCODER_MXU_UTILIZATION))
+            .ceil() as u64;
+        let total_cycles: u64 = layers.iter().map(|l| l.total_cycles).sum::<u64>() + encoder_cycles;
         let total_dram_bytes: u64 = layers.iter().map(|l| l.dram_bytes).sum();
+        // `rules.max(1)` matches the layer cycle model (and the trait view),
+        // which charges every layer at least one rule.
         let total_macs: u64 = workloads
             .iter()
-            .map(|w| w.rules * (w.spec.in_channels * w.spec.out_channels) as u64)
+            .map(|w| w.rules.max(1) * (w.spec.in_channels * w.spec.out_channels) as u64)
             .sum::<u64>()
             + encoder_macs;
         let latency_ms = total_cycles as f64 / (self.config.freq_ghz * 1e9) * 1e3;
@@ -143,6 +155,63 @@ impl PointAccModel {
             latency_ms,
             energy,
         }
+    }
+}
+
+impl Accelerator for PointAccModel {
+    fn name(&self) -> &str {
+        "PointAcc"
+    }
+
+    /// Maps the PointAcc latency breakdown into the shared [`LayerPerf`]
+    /// vocabulary: sorting-based mapping appears as rule-generation cycles and
+    /// cache-based gather/scatter as scatter cycles, neither of which overlaps
+    /// computation in the paper's comparison setting.
+    fn simulate_layer(&self, workload: &LayerWorkload) -> LayerPerf {
+        let detail = self.layer_breakdown(workload);
+        let spec = &workload.spec;
+        let a = workload.input_coords.len().max(1) as u64;
+        let q = workload.output_coords.len().max(1) as u64;
+        let c = spec.in_channels as u64;
+        let m = spec.out_channels as u64;
+        let input_bytes = a * c;
+        let output_bytes = q * m;
+        let weight_bytes = spec.kernel.num_taps() as u64 * c * m;
+        LayerPerf {
+            name: spec.name.clone(),
+            kind: spec.kind,
+            mxu_cycles: detail.compute_cycles,
+            load_wgt_cycles: 0,
+            copy_psum_cycles: 0,
+            scatter_cycles: detail.gather_scatter_cycles,
+            rulegen_cycles: detail.mapping_cycles,
+            total_cycles: detail.total_cycles,
+            macs: workload.rules.max(1) * c * m,
+            dram_bytes: detail.dram_bytes,
+            // The direct-mapped cache reads each line once per access, so SRAM
+            // traffic tracks DRAM traffic plus the writeback pass.
+            sram_bytes: detail.dram_bytes * 2,
+            tiles: TilePlan {
+                input_tile: workload.input_coords.len().max(1),
+                num_tiles: 1,
+                output_span: workload.output_coords.len().max(1),
+                input_bytes,
+                output_bytes,
+                weight_bytes,
+            },
+        }
+    }
+
+    fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> NetworkPerf {
+        simulate_network_via_layers(
+            self,
+            workloads,
+            encoder_macs,
+            self.config.num_pes(),
+            ENCODER_MXU_UTILIZATION,
+            self.config.freq_ghz,
+            &self.energy,
+        )
     }
 }
 
@@ -173,8 +242,7 @@ mod tests {
     fn spade_is_faster_than_pointacc_on_sparse_pointpillars() {
         for kind in [ModelKind::Spp1, ModelKind::Spp2, ModelKind::Spp3] {
             let (w, enc) = workloads(kind);
-            let spade =
-                SpadeAccelerator::new(SpadeConfig::high_end()).simulate_network(&w, enc);
+            let spade = SpadeAccelerator::new(SpadeConfig::high_end()).simulate_network(&w, enc);
             let pacc = PointAccModel::new(SpadeConfig::high_end()).simulate_network(&w, enc);
             let ratio = pacc.total_cycles as f64 / spade.total_cycles as f64;
             assert!(ratio > 1.2, "{kind}: ratio {ratio}");
@@ -194,8 +262,24 @@ mod tests {
     fn mapping_dominates_over_spade_rulegen() {
         let (w, _) = workloads(ModelKind::Spp1);
         let model = PointAccModel::new(SpadeConfig::high_end());
-        let layer = model.simulate_layer(&w[0]);
+        let layer = model.layer_breakdown(&w[0]);
         assert!(layer.mapping_cycles > 0);
         assert!(layer.total_cycles >= layer.mapping_cycles + layer.compute_cycles);
+    }
+
+    #[test]
+    fn trait_layer_view_matches_breakdown() {
+        let (w, enc) = workloads(ModelKind::Spp2);
+        let model = PointAccModel::new(SpadeConfig::high_end());
+        let detail = model.layer_breakdown(&w[0]);
+        let layer = Accelerator::simulate_layer(&model, &w[0]);
+        assert_eq!(layer.total_cycles, detail.total_cycles);
+        assert_eq!(layer.rulegen_cycles, detail.mapping_cycles);
+        assert_eq!(layer.scatter_cycles, detail.gather_scatter_cycles);
+        assert_eq!(layer.dram_bytes, detail.dram_bytes);
+        let net = Accelerator::simulate_network(&model, &w, enc);
+        let breakdown = model.network_breakdown(&w, enc);
+        assert_eq!(net.total_cycles, breakdown.total_cycles);
+        assert_eq!(net.total_dram_bytes, breakdown.total_dram_bytes);
     }
 }

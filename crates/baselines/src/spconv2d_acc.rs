@@ -11,6 +11,17 @@
 //!    as the condensed indices become more irregular with sparsity.
 
 use serde::{Deserialize, Serialize};
+use spade_core::gsu::TilePlan;
+use spade_core::{
+    simulate_network_via_layers, Accelerator, LayerPerf, NetworkPerf, ENCODER_MXU_UTILIZATION,
+};
+use spade_nn::graph::LayerWorkload;
+use spade_sim::EnergyModel;
+
+/// Clock assumed when the behaviour model is lifted into cycle-level results
+/// via the [`Accelerator`] trait — the same 1 GHz as both SPADE design points,
+/// so latency comparisons are apples-to-apples.
+const SPCONV2D_FREQ_GHZ: f64 = 1.0;
 
 /// The utilisation / bank-conflict model of a conventional sparse accelerator
 /// processing vector-sparse pillars.
@@ -75,8 +86,7 @@ impl SpConv2dAccelerator {
         let concurrent = (self.pe_cols as f64 / 8.0).clamp(2.0, 16.0);
         let spread = (self.output_banks as f64) * (0.2 + 0.8 * density);
         let bank_conflict_rate = (1.0 - (-concurrent / spread).exp()).clamp(0.0, 0.95);
-        let effective_throughput =
-            utilization * (1.0 - 0.6 * bank_conflict_rate);
+        let effective_throughput = utilization * (1.0 - 0.6 * bank_conflict_rate);
         SpConv2dBehaviour {
             utilization,
             bank_conflict_rate,
@@ -94,6 +104,71 @@ impl SpConv2dAccelerator {
                 (s, self.behaviour(s))
             })
             .collect()
+    }
+}
+
+impl Accelerator for SpConv2dAccelerator {
+    fn name(&self) -> &str {
+        "SpConv2D-Acc"
+    }
+
+    /// Lifts the utilisation / bank-conflict behaviour model to cycle level:
+    /// the layer's vector sparsity determines the effective throughput, and
+    /// the gap between occupancy-limited and conflict-limited cycles shows up
+    /// as exposed scatter (output-writeback) stalls.
+    fn simulate_layer(&self, workload: &LayerWorkload) -> LayerPerf {
+        let spec = &workload.spec;
+        let a = workload.input_coords.len().max(1) as u64;
+        let q = workload.output_coords.len().max(1) as u64;
+        let c = spec.in_channels as u64;
+        let m = spec.out_channels as u64;
+        let sparsity = 1.0 - a as f64 / workload.input_grid.num_cells().max(1) as f64;
+        let b = self.behaviour(sparsity);
+        let num_pes = (self.pe_rows * self.pe_cols) as f64;
+        // The condensed matrix skips zero vectors, so useful work matches the
+        // sparse MAC count.
+        let macs = workload.rules.max(1) * c * m;
+        let ideal_cycles = (macs as f64 / num_pes).ceil() as u64;
+        let mxu_cycles = (ideal_cycles as f64 / b.utilization.max(1e-6)).ceil() as u64;
+        let total_cycles = (ideal_cycles as f64 / b.effective_throughput.max(1e-6)).ceil() as u64;
+        let scatter_cycles = total_cycles.saturating_sub(mxu_cycles);
+        let input_bytes = a * c;
+        let output_bytes = q * m;
+        let weight_bytes = spec.kernel.num_taps() as u64 * c * m;
+        let dram_bytes = input_bytes + output_bytes + weight_bytes;
+        LayerPerf {
+            name: spec.name.clone(),
+            kind: spec.kind,
+            mxu_cycles,
+            load_wgt_cycles: 0,
+            copy_psum_cycles: 0,
+            scatter_cycles,
+            rulegen_cycles: 0,
+            total_cycles,
+            macs,
+            dram_bytes,
+            sram_bytes: macs / self.pe_rows.max(1) as u64 + dram_bytes,
+            tiles: TilePlan {
+                input_tile: workload.input_coords.len().max(1),
+                num_tiles: 1,
+                output_span: workload.output_coords.len().max(1),
+                input_bytes,
+                output_bytes,
+                weight_bytes,
+            },
+        }
+    }
+
+    fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> NetworkPerf {
+        simulate_network_via_layers(
+            self,
+            workloads,
+            encoder_macs,
+            self.pe_rows * self.pe_cols,
+            ENCODER_MXU_UTILIZATION,
+            SPCONV2D_FREQ_GHZ,
+            &EnergyModel::asic_32nm(),
+        )
     }
 }
 

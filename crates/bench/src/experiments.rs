@@ -5,9 +5,11 @@
 //! EXPERIMENTS.md records the paper-reported values next to the values these
 //! functions measure.
 
-use crate::workload::{model_run, model_run_with_pruning, simulate_on_spade, WorkloadScale};
+use crate::workload::{
+    model_run, model_run_with_pruning, simulate_on, simulate_on_spade, WorkloadScale,
+};
 use spade_baselines::{DenseAccelerator, Platform, PointAccModel, SpConv2dAccelerator};
-use spade_core::{AcceleratorReport, DataflowOptions, SpadeAccelerator, SpadeConfig};
+use spade_core::{Accelerator, AcceleratorReport, DataflowOptions, SpadeAccelerator, SpadeConfig};
 use spade_nn::rulegen::RuleGenMethod;
 use spade_nn::{ModelKind, PruningConfig};
 use spade_pointcloud::AccuracyProxy;
@@ -31,6 +33,7 @@ pub fn run_experiment(id: &str, scale: WorkloadScale) -> Option<String> {
         "fig12" => fig12(scale),
         "fig13" => fig13(scale),
         "fig14_15" => fig14_15(scale),
+        "accelerators" => accelerators(scale),
         _ => return None,
     };
     Some(out)
@@ -40,9 +43,58 @@ pub fn run_experiment(id: &str, scale: WorkloadScale) -> Option<String> {
 #[must_use]
 pub fn all_experiment_ids() -> Vec<&'static str> {
     vec![
-        "table1", "fig02b", "fig02c", "fig02def", "fig05b", "fig06c", "fig08c", "fig09", "fig10",
-        "fig11", "fig12", "fig13", "fig14_15",
+        "table1",
+        "fig02b",
+        "fig02c",
+        "fig02def",
+        "fig05b",
+        "fig06c",
+        "fig08c",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14_15",
+        "accelerators",
     ]
+}
+
+/// The full accelerator comparison set of Fig. 9/14 — SPADE, DenseAcc,
+/// SpConv2D-Acc, and PointAcc — run on every sparse model through the common
+/// [`Accelerator`] API. Adding a backend to this table means implementing the
+/// trait; the experiment itself never changes.
+#[must_use]
+pub fn accelerators(scale: WorkloadScale) -> String {
+    let cfg = SpadeConfig::high_end();
+    let spade = SpadeAccelerator::new(cfg);
+    let dense = DenseAccelerator::new(cfg);
+    let spconv2d = SpConv2dAccelerator::default();
+    let pointacc = PointAccModel::new(cfg);
+    let models: [&dyn Accelerator; 4] = [&spade, &dense, &spconv2d, &pointacc];
+    let mut s = String::from(
+        "Accelerator comparison (HE form factor, all models via the Accelerator trait)\n\
+         model | accelerator  | latency ms | Mcycles | DRAM MiB | energy mJ | vs SPADE\n",
+    );
+    for kind in ModelKind::SPARSE {
+        let run = model_run(kind, 111, scale);
+        let perfs: Vec<_> = models.iter().map(|acc| simulate_on(*acc, &run)).collect();
+        let reference_cycles = perfs[0].total_cycles.max(1);
+        for (acc, perf) in models.iter().zip(&perfs) {
+            let _ = writeln!(
+                s,
+                "{:<5} | {:<12} | {:>10.3} | {:>7.2} | {:>8.2} | {:>9.3} | {:>7.2}x",
+                kind.name(),
+                acc.name(),
+                perf.latency_ms,
+                perf.total_cycles as f64 / 1e6,
+                perf.total_dram_bytes as f64 / (1024.0 * 1024.0),
+                perf.energy.total_mj(),
+                perf.total_cycles as f64 / reference_cycles as f64,
+            );
+        }
+    }
+    s
 }
 
 /// Table I: GOPs, computation savings, and proxy accuracy for every model.
@@ -80,7 +132,11 @@ pub fn fig02b() -> String {
     let acc = SpConv2dAccelerator::default();
     let mut s = String::from("Fig 2(b) — SpConv2D-Acc under vector sparsity\nsparsity | utilization | bank-conflict rate\n");
     for (sp, b) in acc.sweep(10) {
-        let _ = writeln!(s, "{:>7.2} | {:>11.3} | {:>18.3}", sp, b.utilization, b.bank_conflict_rate);
+        let _ = writeln!(
+            s,
+            "{:>7.2} | {:>11.3} | {:>18.3}",
+            sp, b.utilization, b.bank_conflict_rate
+        );
     }
     s
 }
@@ -90,7 +146,12 @@ pub fn fig02b() -> String {
 pub fn fig02c(scale: WorkloadScale) -> String {
     let gpu = Platform::new(spade_baselines::PlatformKind::Gpu2080Ti);
     let mut s = String::from("Fig 2(c) — 2080Ti latency breakdown (ms)\nmodel | conv | mapping | gather | other | total\n");
-    for kind in [ModelKind::Pp, ModelKind::Spp1, ModelKind::Spp2, ModelKind::Spp3] {
+    for kind in [
+        ModelKind::Pp,
+        ModelKind::Spp1,
+        ModelKind::Spp2,
+        ModelKind::Spp3,
+    ] {
         let run = model_run(kind, 21, scale);
         let lat = gpu.run(&run.trace);
         let _ = writeln!(
@@ -130,9 +191,15 @@ pub fn fig05b() -> String {
     for pillars in [1_000usize, 5_000, 10_000, 25_000, 50_000, 100_000] {
         let outputs = pillars * 18 / 10;
         let rules = pillars * 9;
-        let hash = RuleGenMethod::HashTable.cost(pillars, outputs, rules).cycles;
-        let sort = RuleGenMethod::MergeSort.cost(pillars, outputs, rules).cycles;
-        let rgu = RuleGenMethod::StreamingRgu.cost(pillars, outputs, rules).cycles;
+        let hash = RuleGenMethod::HashTable
+            .cost(pillars, outputs, rules)
+            .cycles;
+        let sort = RuleGenMethod::MergeSort
+            .cost(pillars, outputs, rules)
+            .cycles;
+        let rgu = RuleGenMethod::StreamingRgu
+            .cost(pillars, outputs, rules)
+            .cycles;
         let _ = writeln!(
             s,
             "{:>7} | {:>8} | {:>8} | {:>8} | {:>7.2}x | {:>7.2}x",
@@ -252,12 +319,15 @@ pub fn fig09(scale: WorkloadScale) -> String {
 #[must_use]
 pub fn fig10(scale: WorkloadScale) -> String {
     let mut s = String::from("Fig 10 — hardware comparison and energy savings vs DenseAcc\n");
-    for (name, cfg) in [("HE", SpadeConfig::high_end()), ("LE", SpadeConfig::low_end())] {
+    for (name, cfg) in [
+        ("HE", SpadeConfig::high_end()),
+        ("LE", SpadeConfig::low_end()),
+    ] {
         let spade_rep = AcceleratorReport::for_spade(&format!("SPADE.{name}"), &cfg);
         let dense_rep = AcceleratorReport::for_dense(&format!("DenseAcc.{name}"), &cfg);
         let run = model_run(ModelKind::Spp2, 61, scale);
         let spade_perf = simulate_on_spade(&run, cfg);
-        let dense_acc = DenseAccelerator::new(cfg);
+        let dense_acc: &dyn Accelerator = &DenseAccelerator::new(cfg);
         let dense_ops = run.trace.dense_macs() as f64 * 2.0;
         let _ = writeln!(
             s,
@@ -274,8 +344,9 @@ pub fn fig10(scale: WorkloadScale) -> String {
         for kind in ModelKind::SPARSE {
             let run = model_run(kind, 61, scale);
             let spade_perf = simulate_on_spade(&run, cfg);
-            let speedup = dense_acc.speedup_of(&spade_perf, &run.trace);
-            let savings = dense_acc.energy_savings_of(&spade_perf, &run.trace);
+            let dense_perf = simulate_on(dense_acc, &run);
+            let speedup = dense_perf.total_cycles as f64 / spade_perf.total_cycles.max(1) as f64;
+            let savings = dense_perf.energy.total_pj() / spade_perf.energy.total_pj().max(1e-9);
             let _ = writeln!(
                 s,
                 "  {} on {}: speedup vs DenseAcc {:.2}x, energy savings {:.2}x (ops savings {:.1}%)",
@@ -312,7 +383,10 @@ pub fn fig11(scale: WorkloadScale) -> String {
     }
     // (c)/(d): utilisation per sparse conv type with/without optimisation.
     let run = model_run(ModelKind::Spp2, 71, scale);
-    for opts in [DataflowOptions::all_disabled(), DataflowOptions::all_enabled()] {
+    for opts in [
+        DataflowOptions::all_disabled(),
+        DataflowOptions::all_enabled(),
+    ] {
         let acc = SpadeAccelerator::with_options(cfg, opts);
         let mut per_kind: std::collections::BTreeMap<String, (f64, usize)> = Default::default();
         for w in &run.workloads {
@@ -321,7 +395,11 @@ pub fn fig11(scale: WorkloadScale) -> String {
             e.0 += perf.mxu_utilization(&cfg);
             e.1 += 1;
         }
-        let label = if opts.weight_grouping { "with opt" } else { "no opt" };
+        let label = if opts.weight_grouping {
+            "with opt"
+        } else {
+            "no opt"
+        };
         let _ = write!(s, "MXU utilisation ({label}):");
         for (k, (sum, n)) in per_kind {
             let _ = write!(s, " {k}={:.0}%", sum / n as f64 * 100.0);
@@ -337,11 +415,11 @@ pub fn fig11(scale: WorkloadScale) -> String {
 pub fn fig12(scale: WorkloadScale) -> String {
     let mut s = String::from("Fig 12 — energy savings breakdown vs DenseAcc (HE)\nmodel | compute | sram | dram | total\n");
     let cfg = SpadeConfig::high_end();
-    let dense_acc = DenseAccelerator::new(cfg);
+    let dense_acc: &dyn Accelerator = &DenseAccelerator::new(cfg);
     for kind in ModelKind::SPARSE {
         let run = model_run(kind, 81, scale);
         let spade = simulate_on_spade(&run, cfg);
-        let dense = dense_acc.simulate_network(&run.trace);
+        let dense = simulate_on(dense_acc, &run);
         let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { f64::INFINITY };
         let _ = writeln!(
             s,
@@ -393,10 +471,12 @@ pub fn fig13(scale: WorkloadScale) -> String {
 pub fn fig14_15(scale: WorkloadScale) -> String {
     let mut s = String::from("Fig 14/15 — SPADE vs PointAcc\nmodel | DRAM ratio (PointAcc/SPADE) | speedup (PointAcc/SPADE cycles)\n");
     let cfg = SpadeConfig::high_end();
+    let spade_acc = SpadeAccelerator::new(cfg);
+    let pointacc = PointAccModel::new(cfg);
     for kind in [ModelKind::Spp1, ModelKind::Spp2, ModelKind::Spp3] {
         let run = model_run(kind, 101, scale);
-        let spade = simulate_on_spade(&run, cfg);
-        let pacc = PointAccModel::new(cfg).simulate_network(&run.workloads, run.encoder_macs);
+        let spade = simulate_on(&spade_acc, &run);
+        let pacc = simulate_on(&pointacc, &run);
         let _ = writeln!(
             s,
             "{:<5} | {:>27.2} | {:>31.2}",
@@ -419,7 +499,15 @@ mod tests {
             assert!(!out.is_empty(), "{id} produced no output");
         }
         assert!(run_experiment("nonexistent", WorkloadScale::Reduced).is_none());
-        assert_eq!(all_experiment_ids().len(), 13);
+        assert_eq!(all_experiment_ids().len(), 14);
+    }
+
+    #[test]
+    fn accelerators_experiment_reports_all_four_models() {
+        let out = accelerators(WorkloadScale::Reduced);
+        for name in ["SPADE", "DenseAcc", "SpConv2D-Acc", "PointAcc"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Shared workload construction for the experiments.
 
-use spade_core::{NetworkPerf, SpadeAccelerator, SpadeConfig};
+use spade_core::{Accelerator, NetworkPerf, SpadeAccelerator, SpadeConfig};
 use spade_nn::graph::{execute_pattern, ExecutionContext, LayerWorkload, NetworkTrace};
 use spade_nn::{Model, ModelKind, PruningConfig};
 use spade_pointcloud::dataset::{DatasetKind, DatasetPreset, Frame};
@@ -103,10 +103,18 @@ pub fn model_run_with_pruning(
     }
 }
 
+/// Simulates a model run on any accelerator model through the common
+/// [`Accelerator`] API — the entry point every experiment uses, so adding a
+/// backend means implementing the trait, not editing each figure.
+#[must_use]
+pub fn simulate_on(acc: &dyn Accelerator, run: &ModelRun) -> NetworkPerf {
+    acc.simulate_network(&run.workloads, run.encoder_macs)
+}
+
 /// Convenience: simulates a model run on SPADE with a given configuration.
 #[must_use]
 pub fn simulate_on_spade(run: &ModelRun, config: SpadeConfig) -> NetworkPerf {
-    SpadeAccelerator::new(config).simulate_network(&run.workloads, run.encoder_macs)
+    simulate_on(&SpadeAccelerator::new(config), run)
 }
 
 #[cfg(test)]

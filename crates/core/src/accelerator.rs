@@ -1,10 +1,59 @@
-//! Whole-network simulation on SPADE.
+//! Whole-network simulation on SPADE and the [`Accelerator`] abstraction all
+//! accelerator models implement.
 
 use crate::config::{DataflowOptions, SpadeConfig};
 use crate::dataflow::{schedule_layer, LayerPerf};
 use serde::{Deserialize, Serialize};
 use spade_nn::graph::LayerWorkload;
 use spade_sim::{EnergyBreakdown, EnergyModel};
+
+/// A simulated accelerator that executes sparse pillar-based detection
+/// networks layer by layer.
+///
+/// This is the common API of the paper's Fig. 9/14 comparison set — SPADE,
+/// the ideal dense accelerator, the conventional element-sparse Conv2D
+/// accelerator, and the PointAcc model — so experiments, benches, and future
+/// backends can be written once against `&dyn Accelerator` instead of
+/// hand-calling each model.
+///
+/// Every implementor consumes the [`LayerWorkload`]s produced by
+/// [`spade_nn::graph::execute_pattern`] and reports its results in the shared
+/// [`LayerPerf`] / [`NetworkPerf`] vocabulary, which makes the models directly
+/// comparable (cycles, DRAM traffic, and energy mean the same thing for each).
+pub trait Accelerator {
+    /// Human-readable model name (e.g. `"SPADE"`, `"DenseAcc"`).
+    fn name(&self) -> &str;
+
+    /// Simulates a single layer.
+    fn simulate_layer(&self, workload: &LayerWorkload) -> LayerPerf;
+
+    /// Simulates a whole network given its layer workloads and the pillar
+    /// feature encoder's MAC count.
+    fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> NetworkPerf;
+}
+
+/// MXU utilisation assumed when the pillar feature encoder is mapped onto a
+/// systolic array (shared by every accelerator model so encoder accounting
+/// never diverges between implementors).
+pub const ENCODER_MXU_UTILIZATION: f64 = 0.8;
+
+/// Runs `acc`'s layer model over every workload and aggregates the results
+/// with the shared accounting — the one `simulate_network` body every
+/// [`Accelerator`] implementor delegates to.
+pub fn simulate_network_via_layers<A: Accelerator + ?Sized>(
+    acc: &A,
+    workloads: &[LayerWorkload],
+    encoder_macs: u64,
+    num_pes: usize,
+    encoder_utilization: f64,
+    freq_ghz: f64,
+    energy: &EnergyModel,
+) -> NetworkPerf {
+    let layers: Vec<LayerPerf> = workloads.iter().map(|w| acc.simulate_layer(w)).collect();
+    let encoder_cycles =
+        (encoder_macs as f64 / (num_pes.max(1) as f64 * encoder_utilization)).ceil() as u64;
+    NetworkPerf::from_layers(layers, encoder_cycles, encoder_macs, freq_ghz, energy)
+}
 
 /// The SPADE accelerator model.
 #[derive(Debug, Clone)]
@@ -55,6 +104,41 @@ impl NetworkPerf {
         }
         ops / (self.latency_ms * 1e-3) / 1e9
     }
+
+    /// Aggregates per-layer results plus the encoder contribution into a
+    /// whole-network result. This is the shared accounting every
+    /// [`Accelerator`] implementor uses, which keeps cycles, DRAM traffic,
+    /// latency, and energy directly comparable across models.
+    #[must_use]
+    pub fn from_layers(
+        layers: Vec<LayerPerf>,
+        encoder_cycles: u64,
+        encoder_macs: u64,
+        freq_ghz: f64,
+        energy: &EnergyModel,
+    ) -> Self {
+        let layer_cycles: u64 = layers.iter().map(|l| l.total_cycles).sum();
+        let total_cycles = layer_cycles + encoder_cycles;
+        let total_macs: u64 = encoder_macs + layers.iter().map(|l| l.macs).sum::<u64>();
+        let total_dram: u64 = layers.iter().map(|l| l.dram_bytes).sum();
+        let total_sram: u64 = layers.iter().map(|l| l.sram_bytes).sum();
+        let latency_ms = total_cycles as f64 / (freq_ghz * 1e9) * 1e3;
+        let energy = energy.breakdown(total_macs, total_sram, total_dram, total_cycles, freq_ghz);
+        NetworkPerf {
+            layers,
+            encoder_cycles,
+            total_cycles,
+            latency_ms,
+            fps: if latency_ms > 0.0 {
+                1000.0 / latency_ms
+            } else {
+                0.0
+            },
+            total_macs,
+            total_dram_bytes: total_dram,
+            energy,
+        }
+    }
 }
 
 impl SpadeAccelerator {
@@ -100,32 +184,29 @@ impl SpadeAccelerator {
     /// MAC count.
     #[must_use]
     pub fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> NetworkPerf {
-        let layers: Vec<LayerPerf> = workloads.iter().map(|w| self.simulate_layer(w)).collect();
-        let encoder_cycles =
-            (encoder_macs as f64 / self.config.num_pes() as f64 / 0.8).ceil() as u64;
-        let layer_cycles: u64 = layers.iter().map(|l| l.total_cycles).sum();
-        let total_cycles = layer_cycles + encoder_cycles;
-        let total_macs: u64 = encoder_macs + layers.iter().map(|l| l.macs).sum::<u64>();
-        let total_dram: u64 = layers.iter().map(|l| l.dram_bytes).sum();
-        let total_sram: u64 = layers.iter().map(|l| l.sram_bytes).sum();
-        let latency_ms = total_cycles as f64 / (self.config.freq_ghz * 1e9) * 1e3;
-        let energy = self.energy.breakdown(
-            total_macs,
-            total_sram,
-            total_dram,
-            total_cycles,
+        simulate_network_via_layers(
+            self,
+            workloads,
+            encoder_macs,
+            self.config.num_pes(),
+            ENCODER_MXU_UTILIZATION,
             self.config.freq_ghz,
-        );
-        NetworkPerf {
-            layers,
-            encoder_cycles,
-            total_cycles,
-            latency_ms,
-            fps: if latency_ms > 0.0 { 1000.0 / latency_ms } else { 0.0 },
-            total_macs,
-            total_dram_bytes: total_dram,
-            energy,
-        }
+            &self.energy,
+        )
+    }
+}
+
+impl Accelerator for SpadeAccelerator {
+    fn name(&self) -> &str {
+        "SPADE"
+    }
+
+    fn simulate_layer(&self, workload: &LayerWorkload) -> LayerPerf {
+        SpadeAccelerator::simulate_layer(self, workload)
+    }
+
+    fn simulate_network(&self, workloads: &[LayerWorkload], encoder_macs: u64) -> NetworkPerf {
+        SpadeAccelerator::simulate_network(self, workloads, encoder_macs)
     }
 }
 
@@ -189,10 +270,14 @@ mod tests {
     #[test]
     fn dataflow_optimisations_help_end_to_end() {
         let (w, enc) = small_workloads(ModelKind::Spp2);
-        let on = SpadeAccelerator::with_options(SpadeConfig::high_end(), DataflowOptions::all_enabled())
-            .simulate_network(&w, enc);
-        let off = SpadeAccelerator::with_options(SpadeConfig::high_end(), DataflowOptions::all_disabled())
-            .simulate_network(&w, enc);
+        let on =
+            SpadeAccelerator::with_options(SpadeConfig::high_end(), DataflowOptions::all_enabled())
+                .simulate_network(&w, enc);
+        let off = SpadeAccelerator::with_options(
+            SpadeConfig::high_end(),
+            DataflowOptions::all_disabled(),
+        )
+        .simulate_network(&w, enc);
         assert!(on.total_cycles <= off.total_cycles);
     }
 }

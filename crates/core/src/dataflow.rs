@@ -213,8 +213,16 @@ mod tests {
     #[test]
     fn cycles_scale_with_work() {
         let cfg = SpadeConfig::high_end();
-        let small = schedule_layer(&workload(ConvKind::SpConv, 1_000, 64), &cfg, &DataflowOptions::all_enabled());
-        let large = schedule_layer(&workload(ConvKind::SpConv, 8_000, 64), &cfg, &DataflowOptions::all_enabled());
+        let small = schedule_layer(
+            &workload(ConvKind::SpConv, 1_000, 64),
+            &cfg,
+            &DataflowOptions::all_enabled(),
+        );
+        let large = schedule_layer(
+            &workload(ConvKind::SpConv, 8_000, 64),
+            &cfg,
+            &DataflowOptions::all_enabled(),
+        );
         assert!(large.total_cycles > small.total_cycles * 4);
         assert!(large.macs > small.macs * 4);
     }
@@ -222,7 +230,11 @@ mod tests {
     #[test]
     fn low_end_is_slower_than_high_end() {
         let w = workload(ConvKind::SpConv, 8_000, 64);
-        let he = schedule_layer(&w, &SpadeConfig::high_end(), &DataflowOptions::all_enabled());
+        let he = schedule_layer(
+            &w,
+            &SpadeConfig::high_end(),
+            &DataflowOptions::all_enabled(),
+        );
         let le = schedule_layer(&w, &SpadeConfig::low_end(), &DataflowOptions::all_enabled());
         assert!(le.total_cycles > he.total_cycles);
     }
@@ -230,7 +242,11 @@ mod tests {
     #[test]
     fn dram_traffic_counts_each_tensor_once() {
         let w = workload(ConvKind::SpConvS, 2_000, 32);
-        let perf = schedule_layer(&w, &SpadeConfig::high_end(), &DataflowOptions::all_enabled());
+        let perf = schedule_layer(
+            &w,
+            &SpadeConfig::high_end(),
+            &DataflowOptions::all_enabled(),
+        );
         let expected = 2_000 * 32 + 9 * 32 * 32 + w.output_coords.len() as u64 * 32;
         assert_eq!(perf.dram_bytes, expected);
     }

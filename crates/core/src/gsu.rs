@@ -61,9 +61,10 @@ impl ActiveTileManager {
         // Output-side limit: because indices progress together, an input tile
         // of T pillars touches roughly T·(Q/A) outputs plus a kernel halo.
         let outputs_per_input = q as f64 / a as f64;
-        let by_output = (((self.buf_out_bytes / (4 * m)).max(1) as f64 / outputs_per_input.max(0.1))
-            .floor() as usize)
-            .max(1);
+        let by_output =
+            (((self.buf_out_bytes / (4 * m)).max(1) as f64 / outputs_per_input.max(0.1)).floor()
+                as usize)
+                .max(1);
         let input_tile = by_input.min(by_output).min(a).max(1);
         let num_tiles = a.div_ceil(input_tile);
         let output_span = ((input_tile as f64 * outputs_per_input).ceil() as usize + 8).min(q);

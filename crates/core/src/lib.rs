@@ -45,7 +45,10 @@ pub mod gsu;
 pub mod report;
 pub mod rgu;
 
-pub use accelerator::{NetworkPerf, SpadeAccelerator};
+pub use accelerator::{
+    simulate_network_via_layers, Accelerator, NetworkPerf, SpadeAccelerator,
+    ENCODER_MXU_UTILIZATION,
+};
 pub use config::{DataflowOptions, SpadeConfig};
 pub use dataflow::LayerPerf;
 pub use gsu::ActiveTileManager;

@@ -74,9 +74,16 @@ mod tests {
 
     #[test]
     fn generate_produces_monotone_rules_and_linear_cycles() {
-        let coords: Vec<PillarCoord> = (0..50).map(|i| PillarCoord::new(i / 8, (i % 8) * 3)).collect();
+        let coords: Vec<PillarCoord> = (0..50)
+            .map(|i| PillarCoord::new(i / 8, (i % 8) * 3))
+            .collect();
         let rgu = RuleGenerationUnit::new();
-        let res = rgu.generate(&coords, GridShape::new(32, 32), ConvKind::SpConv, KernelShape::k3x3());
+        let res = rgu.generate(
+            &coords,
+            GridShape::new(32, 32),
+            ConvKind::SpConv,
+            KernelShape::k3x3(),
+        );
         assert!(res.rules.check_monotone());
         assert!(res.rules.num_outputs() >= coords.len());
         // Streaming cost is linear-ish in the larger of inputs/outputs.

@@ -234,8 +234,8 @@ pub fn dense_conv2d_reference(input: &DenseTensor, weights: &Weights, relu: bool
                         continue;
                     }
                     for ic in 0..weights.in_channels() {
-                        sum += input.get(ic, r as u32, c as u32)
-                            * f32::from(weights.get(oc, ic, tap));
+                        sum +=
+                            input.get(ic, r as u32, c as u32) * f32::from(weights.get(oc, ic, tap));
                     }
                 }
                 out.set(oc, row, col, if relu && sum < 0.0 { 0.0 } else { sum });

@@ -40,7 +40,9 @@ impl PillarEncoder {
         let weights = (0..out_channels * POINT_FEATURES)
             .map(|_| rng.gen_range(-0.5f32..0.5))
             .collect();
-        let bias = (0..out_channels).map(|_| rng.gen_range(-0.1f32..0.1)).collect();
+        let bias = (0..out_channels)
+            .map(|_| rng.gen_range(-0.1f32..0.1))
+            .collect();
         Self {
             out_channels,
             weights,
@@ -78,14 +80,14 @@ impl PillarEncoder {
                     (p.x - cx) as f32,
                     (p.y - cy) as f32,
                 ];
-                for oc in 0..self.out_channels {
+                for (oc, pool) in pooled.iter_mut().enumerate() {
                     let mut sum = self.bias[oc];
                     for (i, f) in feat.iter().enumerate() {
                         sum += f * self.weights[oc * POINT_FEATURES + i];
                     }
                     let activated = sum.max(0.0); // ReLU
-                    if activated > pooled[oc] {
-                        pooled[oc] = activated;
+                    if activated > *pool {
+                        *pool = activated;
                     }
                 }
             }

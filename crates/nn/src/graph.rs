@@ -167,7 +167,7 @@ pub struct LayerWorkload {
 
 /// Execution context: pruning configuration and (optionally) the scene that
 /// drives the importance model and foreground-coverage accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutionContext<'a> {
     /// Pruning configuration for SpConv-P layers.
     pub pruning: PruningConfig,
@@ -177,17 +177,6 @@ pub struct ExecutionContext<'a> {
     pub pillar_config: Option<&'a PillarizationConfig>,
     /// Seed for the deterministic importance noise.
     pub seed: u64,
-}
-
-impl Default for ExecutionContext<'_> {
-    fn default() -> Self {
-        Self {
-            pruning: PruningConfig::default(),
-            scene: None,
-            pillar_config: None,
-            seed: 0,
-        }
-    }
 }
 
 /// Executes a network at pattern level.
@@ -219,9 +208,12 @@ pub fn execute_pattern(
         )),
         _ => None,
     };
-    let initial_foreground = base_importance
-        .as_ref()
-        .map(|m| initial_coords.iter().filter(|c| m.is_foreground(**c)).count());
+    let initial_foreground = base_importance.as_ref().map(|m| {
+        initial_coords
+            .iter()
+            .filter(|c| m.is_foreground(**c))
+            .count()
+    });
     let mut pruned_foreground_ratio: Vec<f64> = Vec::new();
 
     for layer in &spec.layers {
@@ -299,7 +291,9 @@ pub fn execute_pattern(
         };
         let macs = match sp.kind {
             ConvKind::Dense => {
-                out_grid.num_cells() as u64 * sp.kernel.num_taps() as u64 * sp.macs_per_rule() as u64
+                out_grid.num_cells() as u64
+                    * sp.kernel.num_taps() as u64
+                    * sp.macs_per_rule() as u64
             }
             _ => rules * sp.macs_per_rule() as u64,
         };

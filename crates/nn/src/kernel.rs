@@ -112,7 +112,10 @@ impl WeightGroup {
         let offsets = kernel.offsets();
         let mut groups: Vec<WeightGroup> = Vec::new();
         for (tap, &(dr, dc)) in offsets.iter().enumerate() {
-            let parity = (dr.rem_euclid(stride as i32) as u32, dc.rem_euclid(stride as i32) as u32);
+            let parity = (
+                dr.rem_euclid(stride as i32) as u32,
+                dc.rem_euclid(stride as i32) as u32,
+            );
             if let Some(g) = groups.iter_mut().find(|g| g.parity == parity) {
                 g.taps.push(tap);
             } else {
@@ -268,7 +271,11 @@ mod tests {
             let groups = WeightGroup::for_stride(k, stride);
             let mut all: Vec<usize> = groups.iter().flat_map(|g| g.taps.clone()).collect();
             all.sort_unstable();
-            assert_eq!(all, (0..k.num_taps()).collect::<Vec<_>>(), "stride {stride}");
+            assert_eq!(
+                all,
+                (0..k.num_taps()).collect::<Vec<_>>(),
+                "stride {stride}"
+            );
         }
     }
 

@@ -100,7 +100,11 @@ impl VectorPruner {
             .max(self.config.min_keep)
             .min(n);
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut kept: Vec<usize> = order.into_iter().take(keep).collect();
         kept.sort_unstable();
         kept

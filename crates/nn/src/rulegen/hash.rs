@@ -178,7 +178,11 @@ mod tests {
                 "mismatch for {kind}"
             );
         }
-        assert!(equivalent_to_streaming(&t, ConvKind::SpDeconv, KernelShape::k2x2()));
+        assert!(equivalent_to_streaming(
+            &t,
+            ConvKind::SpDeconv,
+            KernelShape::k2x2()
+        ));
     }
 
     #[test]

@@ -208,7 +208,10 @@ mod tests {
             assert!(out.contains(&c));
         }
         assert!(out.len() > t.num_active());
-        assert!(out.windows(2).all(|w| w[0] < w[1]), "output must be CPR sorted");
+        assert!(
+            out.windows(2).all(|w| w[0] < w[1]),
+            "output must be CPR sorted"
+        );
     }
 
     #[test]
@@ -249,14 +252,25 @@ mod tests {
         let inputs = 10_000;
         let outputs = 18_000;
         let rules = 9 * inputs;
-        let rgu = RuleGenMethod::StreamingRgu.cost(inputs, outputs, rules).cycles;
+        let rgu = RuleGenMethod::StreamingRgu
+            .cost(inputs, outputs, rules)
+            .cycles;
         let hashc = RuleGenMethod::HashTable.cost(inputs, outputs, rules).cycles;
         let sortc = RuleGenMethod::MergeSort.cost(inputs, outputs, rules).cycles;
-        assert!(rgu < sortc && sortc < hashc, "rgu={rgu} sort={sortc} hash={hashc}");
+        assert!(
+            rgu < sortc && sortc < hashc,
+            "rgu={rgu} sort={sortc} hash={hashc}"
+        );
         let hash_ratio = hashc as f64 / rgu as f64;
         let sort_ratio = sortc as f64 / rgu as f64;
-        assert!(hash_ratio > 3.0 && hash_ratio < 10.0, "hash ratio {hash_ratio}");
-        assert!(sort_ratio > 2.0 && sort_ratio < 7.0, "sort ratio {sort_ratio}");
+        assert!(
+            hash_ratio > 3.0 && hash_ratio < 10.0,
+            "hash ratio {hash_ratio}"
+        );
+        assert!(
+            sort_ratio > 2.0 && sort_ratio < 7.0,
+            "sort ratio {sort_ratio}"
+        );
     }
 
     #[test]

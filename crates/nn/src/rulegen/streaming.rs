@@ -29,7 +29,8 @@ pub fn generate(input: &CprTensor, kind: ConvKind, kernel: KernelShape) -> RuleB
     // order this is a sorted slice, so lookups are binary searches (the
     // hardware instead exploits monotonicity to track indices with counters).
     let out_coords = book.output_coords().to_vec();
-    let find_output = |coord: PillarCoord| -> Option<usize> { out_coords.binary_search(&coord).ok() };
+    let find_output =
+        |coord: PillarCoord| -> Option<usize> { out_coords.binary_search(&coord).ok() };
 
     match kind {
         ConvKind::SpDeconv => {

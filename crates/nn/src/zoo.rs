@@ -161,12 +161,22 @@ impl Model {
             ModelKind::Scp1 => {
                 pillars_family("SCP1", ConvKind::SpConv, ConvKind::Dense, 64, false, None)
             }
-            ModelKind::Scp2 => {
-                pillars_family("SCP2", ConvKind::SpConvP, ConvKind::SpConvP, 64, false, None)
-            }
-            ModelKind::Scp3 => {
-                pillars_family("SCP3", ConvKind::SpConvS, ConvKind::SpConvP, 64, false, None)
-            }
+            ModelKind::Scp2 => pillars_family(
+                "SCP2",
+                ConvKind::SpConvP,
+                ConvKind::SpConvP,
+                64,
+                false,
+                None,
+            ),
+            ModelKind::Scp3 => pillars_family(
+                "SCP3",
+                ConvKind::SpConvS,
+                ConvKind::SpConvP,
+                64,
+                false,
+                None,
+            ),
             ModelKind::PnDense => pillars_family(
                 "PN (Dense)",
                 ConvKind::Dense,
@@ -251,7 +261,12 @@ fn pillars_family(
     for (s, (&ch, &n)) in stage_channels.iter().zip(stage_layers.iter()).enumerate() {
         // Downsampling layer.
         layers.push(NetworkLayer {
-            spec: LayerSpec::new(&format!("B{}C0", s + 1), ConvKind::SpStConv, prev_channels, ch),
+            spec: LayerSpec::new(
+                &format!("B{}C0", s + 1),
+                ConvKind::SpStConv,
+                prev_channels,
+                ch,
+            ),
             input: LayerInput::Previous,
             stage: s + 1,
             densify_input: first && densify,
@@ -375,12 +390,30 @@ mod tests {
                 .map(|l| l.spec.kind)
                 .unwrap()
         };
-        assert_eq!(find_kind(&Model::build(ModelKind::Spp1), "B1C1"), ConvKind::SpConv);
-        assert_eq!(find_kind(&Model::build(ModelKind::Spp2), "B1C1"), ConvKind::SpConvP);
-        assert_eq!(find_kind(&Model::build(ModelKind::Spp3), "B1C1"), ConvKind::SpConvS);
-        assert_eq!(find_kind(&Model::build(ModelKind::Pp), "B1C1"), ConvKind::Dense);
-        assert_eq!(find_kind(&Model::build(ModelKind::Scp2), "H1_cls"), ConvKind::SpConvP);
-        assert_eq!(find_kind(&Model::build(ModelKind::Spp2), "H1_cls"), ConvKind::Dense);
+        assert_eq!(
+            find_kind(&Model::build(ModelKind::Spp1), "B1C1"),
+            ConvKind::SpConv
+        );
+        assert_eq!(
+            find_kind(&Model::build(ModelKind::Spp2), "B1C1"),
+            ConvKind::SpConvP
+        );
+        assert_eq!(
+            find_kind(&Model::build(ModelKind::Spp3), "B1C1"),
+            ConvKind::SpConvS
+        );
+        assert_eq!(
+            find_kind(&Model::build(ModelKind::Pp), "B1C1"),
+            ConvKind::Dense
+        );
+        assert_eq!(
+            find_kind(&Model::build(ModelKind::Scp2), "H1_cls"),
+            ConvKind::SpConvP
+        );
+        assert_eq!(
+            find_kind(&Model::build(ModelKind::Spp2), "H1_cls"),
+            ConvKind::Dense
+        );
     }
 
     #[test]

@@ -197,8 +197,7 @@ mod tests {
             det_car(10.0, 0.0, 0.90),
         ];
         let with_fp = evaluate_detections(&[(gt.clone(), dets)], IouKind::Bev);
-        let without_fp =
-            evaluate_detections(&[(gt, vec![det_car(10.0, 0.0, 0.9)])], IouKind::Bev);
+        let without_fp = evaluate_detections(&[(gt, vec![det_car(10.0, 0.0, 0.9)])], IouKind::Bev);
         assert!(with_fp.map < without_fp.map);
     }
 

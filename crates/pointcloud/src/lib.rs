@@ -53,7 +53,7 @@ pub mod proxy;
 pub mod scene;
 
 pub use dataset::DatasetPreset;
-pub use eval::{Detection, EvalResult, evaluate_detections};
+pub use eval::{evaluate_detections, Detection, EvalResult};
 pub use geometry::{BoundingBox3, Point3};
 pub use lidar::LidarConfig;
 pub use object::{ObjectClass, SceneObject};

@@ -87,12 +87,10 @@ pub fn sample_scene(scene: &Scene, config: &LidarConfig, seed: u64) -> Vec<Point
         let range = (bbox.cx * bbox.cx + bbox.cy * bbox.cy).sqrt().max(1.0);
         let falloff = (config.reference_range / range).powi(2).min(1.0);
         let surface_area = 2.0 * (bbox.length + bbox.width) * bbox.height;
-        let count = (obj.class.point_density()
-            * surface_area
-            * falloff
-            * config.object_density_scale)
-            .round()
-            .max(3.0) as usize;
+        let count =
+            (obj.class.point_density() * surface_area * falloff * config.object_density_scale)
+                .round()
+                .max(3.0) as usize;
         for _ in 0..count {
             // Sample on the box surface facing the sensor: pick one of the
             // four vertical faces weighted by its area, then jitter.
@@ -201,11 +199,12 @@ mod tests {
         // Expand the box slightly to tolerate surface jitter.
         let near_object = pts
             .iter()
-            .filter(|p| {
-                (p.x - 10.0).abs() < 3.0 && p.y.abs() < 3.0 && p.z > -1.7 && p.z < 1.0
-            })
+            .filter(|p| (p.x - 10.0).abs() < 3.0 && p.y.abs() < 3.0 && p.z > -1.7 && p.z < 1.0)
             .count();
-        assert!(near_object > 50, "expected dense car returns, got {near_object}");
+        assert!(
+            near_object > 50,
+            "expected dense car returns, got {near_object}"
+        );
     }
 
     #[test]

@@ -201,7 +201,9 @@ mod tests {
     fn max_points_per_pillar_is_enforced() {
         let mut cfg = PillarizationConfig::kitti_like();
         cfg.max_points_per_pillar = 4;
-        let pts: Vec<Point3> = (0..20).map(|i| Point3::new(5.0, 5.0, -1.0 + i as f64 * 0.05)).collect();
+        let pts: Vec<Point3> = (0..20)
+            .map(|i| Point3::new(5.0, 5.0, -1.0 + i as f64 * 0.05))
+            .collect();
         let pc = pillarize(&pts, &cfg);
         assert_eq!(pc.num_active(), 1);
         assert_eq!(pc.points_per_pillar[0].len(), 4);

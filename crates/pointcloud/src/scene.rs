@@ -141,15 +141,16 @@ impl SceneGenerator {
             // Bias object placement towards a road corridor around y = 0 for
             // half of the samples so pillars cluster like a driving scene.
             let y = if self.rng.gen_bool(0.5) {
-                self.rng.gen_range(-8.0f64..8.0).clamp(
-                    self.config.y_range.0,
-                    self.config.y_range.1 - f64::EPSILON,
-                )
+                self.rng
+                    .gen_range(-8.0f64..8.0)
+                    .clamp(self.config.y_range.0, self.config.y_range.1 - f64::EPSILON)
             } else {
                 self.rng
                     .gen_range(self.config.y_range.0..self.config.y_range.1)
             };
-            let yaw = self.rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            let yaw = self
+                .rng
+                .gen_range(-std::f64::consts::PI..std::f64::consts::PI);
             let candidate = SceneObject::at(class, x, y, yaw);
             let too_close = objects.iter().any(|o| {
                 let dx = o.bbox.cx - candidate.bbox.cx;

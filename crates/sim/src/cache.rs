@@ -50,7 +50,11 @@ impl DirectMappedCache {
     pub fn new(capacity_kib: u64, line_bytes: u64) -> Self {
         assert!(capacity_kib > 0 && line_bytes > 0, "sizes must be non-zero");
         let capacity = capacity_kib * 1024;
-        assert_eq!(capacity % line_bytes, 0, "capacity must be a multiple of the line size");
+        assert_eq!(
+            capacity % line_bytes,
+            0,
+            "capacity must be a multiple of the line size"
+        );
         let num_lines = capacity / line_bytes;
         Self {
             line_bytes,

@@ -76,8 +76,8 @@ impl DramModel {
     pub fn read_random(&mut self, count: u64, granule: u64) -> u64 {
         let bytes = count * granule;
         let misses = (count as f64 * self.random_row_miss_rate).round() as u64;
-        let cycles =
-            (bytes as f64 / self.bytes_per_cycle).ceil() as u64 + misses * self.row_activation_cycles;
+        let cycles = (bytes as f64 / self.bytes_per_cycle).ceil() as u64
+            + misses * self.row_activation_cycles;
         self.stats.total_bytes += bytes;
         self.stats.random_bytes += bytes;
         self.stats.row_activations += misses;

@@ -54,7 +54,14 @@ impl EnergyModel {
 
     /// Builds an energy breakdown from raw activity counts.
     #[must_use]
-    pub fn breakdown(&self, macs: u64, sram_bytes: u64, dram_bytes: u64, cycles: u64, freq_ghz: f64) -> EnergyBreakdown {
+    pub fn breakdown(
+        &self,
+        macs: u64,
+        sram_bytes: u64,
+        dram_bytes: u64,
+        cycles: u64,
+        freq_ghz: f64,
+    ) -> EnergyBreakdown {
         let compute_pj = macs as f64 * self.mac_pj;
         let sram_pj = sram_bytes as f64 * self.sram_per_byte_pj;
         let dram_pj = dram_bytes as f64 * self.dram_per_byte_pj;
@@ -123,7 +130,9 @@ mod tests {
         let e = EnergyModel::asic_32nm();
         let b = e.breakdown(1_000_000, 10_000, 1_000, 1_000_000, 1.0);
         assert!(b.compute_pj > 0.0 && b.sram_pj > 0.0 && b.dram_pj > 0.0 && b.leakage_pj > 0.0);
-        assert!((b.total_pj() - (b.compute_pj + b.sram_pj + b.dram_pj + b.leakage_pj)).abs() < 1e-9);
+        assert!(
+            (b.total_pj() - (b.compute_pj + b.sram_pj + b.dram_pj + b.leakage_pj)).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -532,7 +532,10 @@ mod tests {
         let t = sample_tensor();
         let s = t.select(&[3, 0, 3, 99]);
         assert_eq!(s.num_active(), 2);
-        assert_eq!(s.coords(), vec![PillarCoord::new(0, 1), PillarCoord::new(3, 2)]);
+        assert_eq!(
+            s.coords(),
+            vec![PillarCoord::new(0, 1), PillarCoord::new(3, 2)]
+        );
         assert_eq!(s.features(1), &[7.0, 8.0]);
         assert!(s.check_invariants());
     }

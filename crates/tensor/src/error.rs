@@ -81,10 +81,9 @@ impl fmt::Display for TensorError {
             TensorError::DuplicateCoord { row, col } => {
                 write!(f, "pillar coordinate ({row}, {col}) was pushed twice")
             }
-            TensorError::ShapeMismatch { left, right } => write!(
-                f,
-                "dense tensor shapes {left:?} and {right:?} do not match"
-            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "dense tensor shapes {left:?} and {right:?} do not match")
+            }
         }
     }
 }

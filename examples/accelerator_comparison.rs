@@ -1,20 +1,33 @@
-//! Accelerator comparison: run every sparse model of the paper's zoo on
-//! SPADE (high-end and low-end), the ideal dense accelerator, the PointAcc
-//! model, and the GPU/Jetson platform models.
+//! Accelerator comparison: run every sparse model of the paper's zoo on the
+//! full Fig. 9/14 comparison set — SPADE, the ideal dense accelerator, the
+//! conventional element-sparse Conv2D accelerator, and the PointAcc model —
+//! entirely through the common [`Accelerator`] trait, then add the GPU/Jetson
+//! platform models for reference.
 //!
 //! ```text
 //! cargo run --release --example accelerator_comparison
 //! ```
 
-use spade::baselines::{DenseAccelerator, Platform, PlatformKind, PointAccModel};
-use spade::core::{SpadeAccelerator, SpadeConfig};
+use spade::baselines::{
+    DenseAccelerator, Platform, PlatformKind, PointAccModel, SpConv2dAccelerator,
+};
+use spade::core::{Accelerator, SpadeAccelerator, SpadeConfig};
 use spade::nn::graph::{execute_pattern, ExecutionContext};
 use spade::nn::{Model, ModelKind};
 use spade::pointcloud::dataset::DatasetKind;
 use spade::pointcloud::DatasetPreset;
 
 fn main() {
-    println!("model | savings | SPADE.HE ms | DenseAcc.HE ms equiv speedup | PointAcc ratio | 2080Ti speedup | Jetson-NX speedup");
+    let cfg = SpadeConfig::high_end();
+    let spade = SpadeAccelerator::new(cfg);
+    let dense = DenseAccelerator::new(cfg);
+    let spconv2d = SpConv2dAccelerator::default();
+    let pointacc = PointAccModel::new(cfg);
+    // Every accelerator is driven through the same trait object — adding a
+    // backend to this comparison means implementing `Accelerator`, nothing
+    // else changes.
+    let accelerators: [&dyn Accelerator; 4] = [&spade, &dense, &spconv2d, &pointacc];
+
     for kind in ModelKind::SPARSE {
         let preset = match kind.dataset() {
             DatasetKind::KittiLike => DatasetPreset::kitti_like(),
@@ -37,22 +50,36 @@ fn main() {
             &ctx,
         );
 
-        let cfg = SpadeConfig::high_end();
-        let spade = SpadeAccelerator::new(cfg).simulate_network(&workloads, trace.encoder_macs);
-        let dense = DenseAccelerator::new(cfg);
-        let pacc = PointAccModel::new(cfg).simulate_network(&workloads, trace.encoder_macs);
-        let gpu = Platform::new(PlatformKind::Gpu2080Ti);
-        let jetson = Platform::new(PlatformKind::JetsonXavierNx);
-
         println!(
-            "{:<5} | {:>6.1}% | {:>10.3} | {:>27.2}x | {:>13.2}x | {:>13.1}x | {:>16.1}x",
+            "{} (computation savings {:.1}%):",
             kind.name(),
-            trace.computation_savings() * 100.0,
-            spade.latency_ms,
-            dense.speedup_of(&spade, &trace),
-            pacc.total_cycles as f64 / spade.total_cycles as f64,
-            gpu.run(&trace).total_ms() / spade.latency_ms,
-            jetson.run(&trace).total_ms() / spade.latency_ms,
+            trace.computation_savings() * 100.0
         );
+        let perfs: Vec<_> = accelerators
+            .iter()
+            .map(|acc| acc.simulate_network(&workloads, trace.encoder_macs))
+            .collect();
+        let reference = &perfs[0];
+        for (acc, perf) in accelerators.iter().zip(&perfs) {
+            println!(
+                "  {:<12} | {:>10.3} ms | {:>8.2} Mcycles | {:>8.2} MiB DRAM | {:>8.3} mJ | {:>6.2}x vs SPADE",
+                acc.name(),
+                perf.latency_ms,
+                perf.total_cycles as f64 / 1e6,
+                perf.total_dram_bytes as f64 / (1024.0 * 1024.0),
+                perf.energy.total_mj(),
+                perf.total_cycles as f64 / reference.total_cycles.max(1) as f64,
+            );
+        }
+        for platform in [PlatformKind::Gpu2080Ti, PlatformKind::JetsonXavierNx] {
+            let lat = Platform::new(platform).run(&trace);
+            println!(
+                "  {:<12} | {:>10.3} ms | {:>32} | {:>6.2}x vs SPADE",
+                platform.to_string(),
+                lat.total_ms(),
+                "(platform latency model)",
+                lat.total_ms() / reference.latency_ms,
+            );
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use spade::baselines::DenseAccelerator;
-use spade::core::{SpadeAccelerator, SpadeConfig};
+use spade::core::{Accelerator, SpadeAccelerator, SpadeConfig};
 use spade::nn::graph::{execute_pattern, ExecutionContext};
 use spade::nn::{Model, ModelKind};
 use spade::pointcloud::DatasetPreset;
@@ -45,10 +45,13 @@ fn main() {
         trace.computation_savings() * 100.0
     );
 
-    // 3. Simulate on SPADE.HE and on the ideal dense accelerator.
+    // 3. Simulate on SPADE.HE and on the ideal dense accelerator, both
+    //    through the common `Accelerator` API so the comparison uses the same
+    //    per-layer model as the experiments suite.
     let config = SpadeConfig::high_end();
     let spade = SpadeAccelerator::new(config).simulate_network(&workloads, trace.encoder_macs);
-    let dense = DenseAccelerator::new(config);
+    let dense: &dyn Accelerator = &DenseAccelerator::new(config);
+    let dense_perf = dense.simulate_network(&workloads, trace.encoder_macs);
     println!(
         "SPADE.HE: {:.3} ms/frame ({:.0} FPS), {:.2} mJ",
         spade.latency_ms,
@@ -57,7 +60,7 @@ fn main() {
     );
     println!(
         "vs DenseAcc.HE: {:.2}x speedup, {:.2}x energy savings",
-        dense.speedup_of(&spade, &trace),
-        dense.energy_savings_of(&spade, &trace)
+        dense_perf.total_cycles as f64 / spade.total_cycles.max(1) as f64,
+        dense_perf.energy.total_pj() / spade.energy.total_pj().max(1e-9)
     );
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate for the SPADE reproduction workspace.
+#
+# Runs the same checks as .github/workflows/ci.yml:
+#   1. cargo fmt --check        — formatting
+#   2. cargo clippy -D warnings — lints, all targets
+#   3. cargo test -q            — unit + integration + property + doc tests
+#   4. cargo bench --no-run     — all 13 figure benches must compile
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo bench -p spade-bench --no-run"
+cargo bench -p spade-bench --no-run
+
+echo "==> CI gate passed"

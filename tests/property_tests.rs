@@ -6,7 +6,10 @@ use spade::nn::{ConvKind, KernelShape, LayerSpec};
 use spade::tensor::{CprTensor, GridShape, PillarCoord};
 
 fn arb_coords(max: usize) -> impl Strategy<Value = Vec<PillarCoord>> {
-    prop::collection::vec((0u32..24, 0u32..24).prop_map(|(r, c)| PillarCoord::new(r, c)), 1..max)
+    prop::collection::vec(
+        (0u32..24, 0u32..24).prop_map(|(r, c)| PillarCoord::new(r, c)),
+        1..max,
+    )
 }
 
 proptest! {

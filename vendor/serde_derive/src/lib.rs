@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real `serde_derive` cannot be fetched. The sibling `serde` stub declares
+//! `Serialize` / `Deserialize` as marker traits with blanket impls, which
+//! means these derives have nothing to generate: they accept the input and
+//! expand to nothing. Swap both stubs for the real crates by repointing the
+//! `[workspace.dependencies]` entries once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// Stub `#[derive(Serialize)]`: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub `#[derive(Deserialize)]`: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
