@@ -1,4 +1,5 @@
-//! Regenerates every table and figure of the paper's evaluation.
+//! Regenerates every table and figure of the paper's evaluation, plus the
+//! design-space exploration sweep.
 //!
 //! Usage:
 //!
@@ -6,29 +7,111 @@
 //! spade-experiments              # run every experiment at full scale
 //! spade-experiments table1 fig09 # run selected experiments
 //! spade-experiments --reduced    # quarter-scale grids (fast smoke run)
+//!
+//! # DSE-specific flags (only meaningful with the `dse` experiment):
+//! spade-experiments dse --frames 8 --drive-seed 7   # reshape the drive
+//! spade-experiments dse --csv pareto.csv            # export the grid as CSV
+//! spade-experiments dse --json pareto.json          # ... or as JSON
 //! ```
 
+use spade_bench::dse::{run_dse, DseParams};
 use spade_bench::{run_experiment, WorkloadScale};
 
-fn main() {
+struct Cli {
+    scale: WorkloadScale,
+    ids: Vec<String>,
+    frames: Option<usize>,
+    drive_seed: Option<u64>,
+    csv_path: Option<String>,
+    json_path: Option<String>,
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| usage_error(&format!("{flag} expects a value")))
+}
+
+fn int_value_of<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let raw = value_of(it, flag);
+    raw.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} expects an integer, got '{raw}'")))
+}
+
+fn parse_cli() -> Cli {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--reduced") {
-        WorkloadScale::Reduced
-    } else {
-        WorkloadScale::Full
+    let mut cli = Cli {
+        scale: WorkloadScale::Full,
+        ids: Vec::new(),
+        frames: None,
+        drive_seed: None,
+        csv_path: None,
+        json_path: None,
     };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let ids = if selected.is_empty() {
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--reduced" => cli.scale = WorkloadScale::Reduced,
+            "--frames" => {
+                let frames: usize = int_value_of(&mut it, "--frames");
+                if frames == 0 {
+                    usage_error("--frames expects a positive integer");
+                }
+                cli.frames = Some(frames);
+            }
+            "--drive-seed" => cli.drive_seed = Some(int_value_of(&mut it, "--drive-seed")),
+            "--csv" => cli.csv_path = Some(value_of(&mut it, "--csv")),
+            "--json" => cli.json_path = Some(value_of(&mut it, "--json")),
+            flag if flag.starts_with("--") => {
+                usage_error(&format!("unknown flag: {flag}"));
+            }
+            id => cli.ids.push(id.to_owned()),
+        }
+    }
+    cli
+}
+
+fn run_dse_with(cli: &Cli) {
+    let mut params = DseParams::default_for(cli.scale);
+    if let Some(frames) = cli.frames {
+        params.num_frames = frames;
+    }
+    if let Some(seed) = cli.drive_seed {
+        params.base_seed = seed;
+    }
+    let result = run_dse(&params);
+    println!("\n=== dse ===\n{}", result.summary());
+    if let Some(path) = &cli.csv_path {
+        std::fs::write(path, result.to_csv()).expect("failed to write CSV");
+        println!("wrote {} cells to {path}", result.cells.len());
+    }
+    if let Some(path) = &cli.json_path {
+        std::fs::write(path, result.to_json()).expect("failed to write JSON");
+        println!("wrote {} cells to {path}", result.cells.len());
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let ids: Vec<String> = if cli.ids.is_empty() {
         spade_bench::experiments::all_experiment_ids()
+            .into_iter()
+            .map(String::from)
+            .collect()
     } else {
-        selected
+        cli.ids.clone()
     };
-    for id in ids {
-        match run_experiment(id, scale) {
+    for id in &ids {
+        // `dse` takes the drive/export flags, so it runs through its own path.
+        if id == "dse" {
+            run_dse_with(&cli);
+            continue;
+        }
+        match run_experiment(id, cli.scale) {
             Some(out) => println!("\n=== {id} ===\n{out}"),
             None => eprintln!("unknown experiment id: {id}"),
         }

@@ -1,0 +1,613 @@
+//! Design-space exploration (DSE) over hardware configurations and
+//! multi-frame drive scenarios.
+//!
+//! The paper evaluates two fixed design points (SPADE.HE and SPADE.LE) on
+//! single synthetic frames. This module sweeps a grid over [`SpadeConfig`]
+//! axes — PE-array shape, on-chip SRAM capacity, DRAM bandwidth, and the
+//! dataflow optimisations — crossed with the frames of a
+//! [`DriveScenario`], runs every `(configuration, accelerator, frame)` cell
+//! through the common [`Accelerator`] trait, and extracts the
+//! latency/energy/area Pareto frontier per workload. The output answers
+//! questions the paper's two points cannot: where does the sparsity hardware
+//! stop paying for itself as the array shrinks, and how does the win move as
+//! a drive passes through denser traffic.
+//!
+//! Entry points: [`run_dse`] with [`DseParams`], surfaced as the `dse`
+//! experiment of the `spade-experiments` binary (which can also export the
+//! full grid as CSV/JSON via [`ReportTable`]).
+
+use crate::workload::{model_run_on_frame, simulate_on, ModelRun, WorkloadScale};
+use spade_baselines::{DenseAccelerator, PointAccModel, SpConv2dAccelerator};
+use spade_core::{
+    Accelerator, AcceleratorReport, DataflowOptions, NetworkPerf, ReportTable, SpadeAccelerator,
+    SpadeConfig,
+};
+use spade_nn::{ModelKind, PruningConfig};
+use spade_pointcloud::dataset::{DatasetKind, DatasetPreset};
+use spade_pointcloud::{DensityProfile, DriveScenario, DriveScenarioConfig};
+use std::fmt::Write as _;
+
+/// The swept hardware axes. Every combination of the configuration axes
+/// (PE dims × SRAM scale × DRAM bandwidth) yields one [`SpadeConfig`]; the
+/// dataflow axis applies to the SPADE model only (the baselines have no
+/// dataflow optimisations to toggle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxes {
+    /// PE-array shapes `(rows, cols)` to sweep.
+    pub pe_dims: Vec<(usize, usize)>,
+    /// Multipliers applied to the base configuration's buffer capacities.
+    pub sram_scales: Vec<f64>,
+    /// DRAM bandwidths in bytes per cycle.
+    pub dram_bytes_per_cycle: Vec<f64>,
+    /// Dataflow-optimisation settings (SPADE cells only).
+    pub dataflow: Vec<DataflowOptions>,
+}
+
+impl SweepAxes {
+    /// The default grid around the paper's two design points: three array
+    /// shapes from LE (16×16) to HE (64×64), two SRAM budgets, two DRAM
+    /// bandwidths, and dataflow optimisations on/off — a 4-axis sweep with
+    /// 24 SPADE cells per workload.
+    #[must_use]
+    pub fn paper_neighbourhood() -> Self {
+        Self {
+            pe_dims: vec![(16, 16), (32, 32), (64, 64)],
+            sram_scales: vec![0.5, 1.0],
+            dram_bytes_per_cycle: vec![12.8, 25.6],
+            dataflow: vec![
+                DataflowOptions::all_disabled(),
+                DataflowOptions::all_enabled(),
+            ],
+        }
+    }
+
+    /// A smaller grid for tests and smoke runs: still three multi-valued
+    /// configuration axes, but only two values per axis and a single
+    /// dataflow setting.
+    #[must_use]
+    pub fn reduced() -> Self {
+        Self {
+            pe_dims: vec![(16, 16), (64, 64)],
+            sram_scales: vec![0.5, 1.0],
+            dram_bytes_per_cycle: vec![12.8, 25.6],
+            dataflow: vec![DataflowOptions::all_enabled()],
+        }
+    }
+
+    /// Number of axes being swept (those with more than one value).
+    #[must_use]
+    pub fn num_swept_axes(&self) -> usize {
+        [
+            self.pe_dims.len(),
+            self.sram_scales.len(),
+            self.dram_bytes_per_cycle.len(),
+            self.dataflow.len(),
+        ]
+        .iter()
+        .filter(|&&n| n > 1)
+        .count()
+    }
+
+    /// Expands the configuration axes (everything except dataflow) into
+    /// concrete [`SpadeConfig`]s derived from the high-end base point.
+    #[must_use]
+    pub fn expand_configs(&self) -> Vec<SpadeConfig> {
+        let base = SpadeConfig::high_end();
+        let mut out = Vec::new();
+        for &(rows, cols) in &self.pe_dims {
+            for &scale in &self.sram_scales {
+                for &bpc in &self.dram_bytes_per_cycle {
+                    out.push(
+                        base.with_pe_array(rows, cols)
+                            .with_sram_scale(scale)
+                            .with_dram_bytes_per_cycle(bpc),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parameters of one DSE run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseParams {
+    /// Workload scale (full paper grids or quarter-scale for smoke runs).
+    pub scale: WorkloadScale,
+    /// The hardware grid.
+    pub axes: SweepAxes,
+    /// Which networks to sweep (each is one workload of the result).
+    pub models: Vec<ModelKind>,
+    /// Frames per drive scenario (the paper's evaluation is 1 static frame;
+    /// the DSE default drives through ≥5).
+    pub num_frames: usize,
+    /// Base seed of the drive scenario.
+    pub base_seed: u64,
+    /// Density profile of the drive.
+    pub profile: DensityProfile,
+}
+
+impl DseParams {
+    /// Defaults for a given scale: the full grid over a 6-frame
+    /// suburb-to-downtown drive for `Full`, and the reduced grid over a
+    /// 5-frame drive for `Reduced`.
+    #[must_use]
+    pub fn default_for(scale: WorkloadScale) -> Self {
+        match scale {
+            WorkloadScale::Full => Self {
+                scale,
+                axes: SweepAxes::paper_neighbourhood(),
+                models: vec![ModelKind::Spp2, ModelKind::Scp3],
+                num_frames: 6,
+                base_seed: 2024,
+                profile: DensityProfile::Ramp {
+                    start: 0.5,
+                    end: 2.0,
+                },
+            },
+            WorkloadScale::Reduced => Self {
+                scale,
+                axes: SweepAxes::reduced(),
+                models: vec![ModelKind::Spp2],
+                num_frames: 5,
+                base_seed: 2024,
+                profile: DensityProfile::Ramp {
+                    start: 0.5,
+                    end: 2.0,
+                },
+            },
+        }
+    }
+}
+
+/// One cell of the sweep: an accelerator at a design point, aggregated over
+/// every frame of the drive scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseCell {
+    /// Workload (network) name.
+    pub workload: &'static str,
+    /// Accelerator model name.
+    pub accelerator: String,
+    /// Design-point label (config plus `+df`/`-df` for SPADE cells).
+    pub design: String,
+    /// PE-array rows of the cell's configuration.
+    pub pe_rows: usize,
+    /// PE-array columns of the cell's configuration.
+    pub pe_cols: usize,
+    /// Total on-chip SRAM (KiB).
+    pub sram_kib: u64,
+    /// DRAM bandwidth (bytes per cycle). For the bandwidth-insensitive
+    /// baselines (SpConv2D-Acc, PointAcc) one cell stands for every swept
+    /// bandwidth; this field then records the value of the configuration the
+    /// cell was simulated under.
+    pub dram_bytes_per_cycle: f64,
+    /// Whether the dataflow optimisations were enabled (always `true` for
+    /// non-SPADE cells, which have no such switches).
+    pub dataflow_enabled: bool,
+    /// Mean end-to-end latency over the drive's frames (ms).
+    pub mean_latency_ms: f64,
+    /// Mean energy per frame (mJ).
+    pub mean_energy_mj: f64,
+    /// Die area of the instance (mm²).
+    pub area_mm2: f64,
+    /// Mean DRAM traffic per frame (MiB).
+    pub mean_dram_mib: f64,
+    /// Whether this cell survives Pareto extraction for its workload.
+    pub on_frontier: bool,
+}
+
+/// The result of a DSE run: every cell, with the per-workload Pareto
+/// frontier marked, plus the SPADE-vs-DenseAcc dominance tally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseResult {
+    /// Every `(workload, accelerator, design point)` cell.
+    pub cells: Vec<DseCell>,
+    /// Number of hardware configurations swept (excluding the dataflow axis).
+    pub num_configs: usize,
+    /// Frames per drive scenario.
+    pub num_frames: usize,
+    /// Number of axes with more than one value.
+    pub num_swept_axes: usize,
+    /// Cells (same workload, same configuration) where SPADE beats DenseAcc
+    /// on both latency and energy.
+    pub spade_dense_wins: usize,
+    /// Number of `(workload, configuration)` comparisons made for the tally.
+    pub spade_dense_comparisons: usize,
+}
+
+/// Marks the Pareto-optimal points among `points` (minimising every
+/// dimension). A point is kept iff no other point is at least as good in all
+/// dimensions and strictly better in at least one — so exact ties are all
+/// kept, and dominated points are dropped.
+#[must_use]
+pub fn pareto_frontier(points: &[[f64; 3]]) -> Vec<bool> {
+    let dominates = |a: &[f64; 3], b: &[f64; 3]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    points
+        .iter()
+        .map(|p| !points.iter().any(|q| dominates(q, p)))
+        .collect()
+}
+
+fn preset_for(kind: ModelKind) -> DatasetPreset {
+    match kind.dataset() {
+        DatasetKind::KittiLike => DatasetPreset::kitti_like(),
+        DatasetKind::NuscenesLike => DatasetPreset::nuscenes_like(),
+    }
+}
+
+fn mean_cell(
+    workload: &'static str,
+    accelerator: &str,
+    design: String,
+    config: &SpadeConfig,
+    dataflow_enabled: bool,
+    area_mm2: f64,
+    perfs: &[NetworkPerf],
+) -> DseCell {
+    let n = perfs.len().max(1) as f64;
+    DseCell {
+        workload,
+        accelerator: accelerator.to_owned(),
+        design,
+        pe_rows: config.pe_rows,
+        pe_cols: config.pe_cols,
+        sram_kib: config.total_sram_kib(),
+        dram_bytes_per_cycle: config.dram_bytes_per_cycle,
+        dataflow_enabled,
+        mean_latency_ms: perfs.iter().map(|p| p.latency_ms).sum::<f64>() / n,
+        mean_energy_mj: perfs.iter().map(|p| p.energy.total_mj()).sum::<f64>() / n,
+        area_mm2,
+        mean_dram_mib: perfs
+            .iter()
+            .map(|p| p.total_dram_bytes as f64 / (1024.0 * 1024.0))
+            .sum::<f64>()
+            / n,
+        on_frontier: false,
+    }
+}
+
+/// Runs the sweep: every configuration × accelerator × drive frame, then
+/// Pareto extraction per workload.
+#[must_use]
+pub fn run_dse(params: &DseParams) -> DseResult {
+    let configs = params.axes.expand_configs();
+    // A zero-frame drive would make every cell's mean 0.0 and fill the
+    // frontier with fake perfect designs; always simulate at least one frame.
+    let num_frames = params.num_frames.max(1);
+    let mut cells: Vec<DseCell> = Vec::new();
+    let mut wins = 0usize;
+    let mut comparisons = 0usize;
+
+    for &kind in &params.models {
+        let preset = preset_for(kind);
+        let scenario = DriveScenario::new(
+            preset.clone(),
+            DriveScenarioConfig {
+                num_frames,
+                base_seed: params.base_seed,
+                profile: params.profile,
+            },
+        );
+        // Build each frame's workloads once; they are configuration-
+        // independent, so every design point reuses them.
+        let runs: Vec<ModelRun> = scenario
+            .frames()
+            .iter()
+            .map(|df| {
+                model_run_on_frame(
+                    kind,
+                    &preset,
+                    &df.frame,
+                    params.base_seed.wrapping_add(df.index as u64 * 7919),
+                    params.scale,
+                    PruningConfig::default(),
+                )
+            })
+            .collect();
+        let sim_all = |acc: &dyn Accelerator| -> Vec<NetworkPerf> {
+            runs.iter().map(|r| simulate_on(acc, r)).collect()
+        };
+
+        let first_cell = cells.len();
+        // SpConv2D-Acc's behaviour model (utilisation + bank conflicts) and
+        // PointAcc's no-overlap cycle model never bound on DRAM bandwidth, so
+        // sweeping that axis for them would emit duplicate cells differing
+        // only in label (and pollute the frontier with fake ties). Emit one
+        // cell per (PE array, SRAM) form factor instead.
+        let mut bw_insensitive_seen: std::collections::HashSet<(usize, usize, u64)> =
+            std::collections::HashSet::new();
+        for config in &configs {
+            let spade_area = AcceleratorReport::for_spade("SPADE", config).total_mm2();
+            let dense_area = AcceleratorReport::for_dense("DenseAcc", config).total_mm2();
+
+            // SPADE: one cell per dataflow setting.
+            let mut spade_cells: Vec<DseCell> = Vec::new();
+            for opts in &params.axes.dataflow {
+                let enabled = opts.weight_grouping || opts.ganged_scatter || opts.adaptive_tiling;
+                let acc = SpadeAccelerator::with_options(*config, *opts);
+                let design = format!("{}/{}", config.label(), if enabled { "+df" } else { "-df" });
+                spade_cells.push(mean_cell(
+                    kind.name(),
+                    acc.name(),
+                    design,
+                    config,
+                    enabled,
+                    spade_area,
+                    &sim_all(&acc),
+                ));
+            }
+
+            // Baselines: one cell per configuration (no dataflow switches).
+            let dense = DenseAccelerator::new(*config);
+            let dense_cell = mean_cell(
+                kind.name(),
+                dense.name(),
+                config.label(),
+                config,
+                true,
+                dense_area,
+                &sim_all(&dense),
+            );
+            // SPADE vs DenseAcc at the same form factor (areas within the
+            // ~4.5% sparsity-support overhead of each other): Fig. 9's claim,
+            // checked in every configuration cell of the sweep. A cell wins
+            // if any of its dataflow variants dominates DenseAcc.
+            if !spade_cells.is_empty() {
+                comparisons += 1;
+                if spade_cells.iter().any(|s| {
+                    s.mean_latency_ms < dense_cell.mean_latency_ms
+                        && s.mean_energy_mj < dense_cell.mean_energy_mj
+                }) {
+                    wins += 1;
+                }
+            }
+            cells.append(&mut spade_cells);
+            cells.push(dense_cell);
+
+            let form_factor = (config.pe_rows, config.pe_cols, config.total_sram_kib());
+            if bw_insensitive_seen.insert(form_factor) {
+                // Label without the bandwidth token: these models' results
+                // hold for every swept DRAM bandwidth.
+                let bw_free_label = format!(
+                    "{}x{}/{}KiB",
+                    config.pe_rows,
+                    config.pe_cols,
+                    config.total_sram_kib()
+                );
+                let spconv = SpConv2dAccelerator::new(config.pe_rows, config.pe_cols, 16);
+                // SpConv2D-Acc and PointAcc carry their own sparsity hardware
+                // (condensing logic, sorter + cache); model their area like
+                // SPADE's sparsity-support overhead on the same datapath.
+                cells.push(mean_cell(
+                    kind.name(),
+                    Accelerator::name(&spconv),
+                    bw_free_label.clone(),
+                    config,
+                    true,
+                    spade_area,
+                    &sim_all(&spconv),
+                ));
+                let pacc = PointAccModel::new(*config);
+                cells.push(mean_cell(
+                    kind.name(),
+                    pacc.name(),
+                    bw_free_label,
+                    config,
+                    true,
+                    spade_area,
+                    &sim_all(&pacc),
+                ));
+            }
+        }
+
+        // Pareto extraction over this workload's cells.
+        let metrics: Vec<[f64; 3]> = cells[first_cell..]
+            .iter()
+            .map(|c| [c.mean_latency_ms, c.mean_energy_mj, c.area_mm2])
+            .collect();
+        for (cell, keep) in cells[first_cell..]
+            .iter_mut()
+            .zip(pareto_frontier(&metrics))
+        {
+            cell.on_frontier = keep;
+        }
+    }
+
+    DseResult {
+        cells,
+        num_configs: configs.len(),
+        num_frames,
+        num_swept_axes: params.axes.num_swept_axes(),
+        spade_dense_wins: wins,
+        spade_dense_comparisons: comparisons,
+    }
+}
+
+impl DseResult {
+    /// The cells that survived Pareto extraction.
+    #[must_use]
+    pub fn frontier(&self) -> Vec<&DseCell> {
+        self.cells.iter().filter(|c| c.on_frontier).collect()
+    }
+
+    /// The full grid as a [`ReportTable`] (one row per cell).
+    #[must_use]
+    pub fn to_table(&self) -> ReportTable {
+        let mut t = ReportTable::new(vec![
+            "workload",
+            "accelerator",
+            "design",
+            "pe_rows",
+            "pe_cols",
+            "sram_kib",
+            "dram_bytes_per_cycle",
+            "dataflow",
+            "mean_latency_ms",
+            "mean_energy_mj",
+            "area_mm2",
+            "mean_dram_mib",
+            "on_frontier",
+        ]);
+        for c in &self.cells {
+            t.push_row(vec![
+                c.workload.into(),
+                c.accelerator.clone().into(),
+                c.design.clone().into(),
+                c.pe_rows.into(),
+                c.pe_cols.into(),
+                (c.sram_kib as i64).into(),
+                c.dram_bytes_per_cycle.into(),
+                c.dataflow_enabled.into(),
+                c.mean_latency_ms.into(),
+                c.mean_energy_mj.into(),
+                c.area_mm2.into(),
+                c.mean_dram_mib.into(),
+                c.on_frontier.into(),
+            ]);
+        }
+        t
+    }
+
+    /// CSV export of the full grid.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        self.to_table().to_csv()
+    }
+
+    /// JSON export of the full grid.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_table().to_json()
+    }
+
+    /// Human-readable summary: the sweep shape, the Pareto frontier per
+    /// workload, and the SPADE-vs-DenseAcc dominance tally.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "DSE — {} configs x {} accelerator cells over a {}-frame drive ({} swept axes)\n",
+            self.num_configs,
+            self.cells.len(),
+            self.num_frames,
+            self.num_swept_axes,
+        );
+        let _ = writeln!(
+            s,
+            "Pareto frontier (latency/energy/area, {} of {} cells):",
+            self.frontier().len(),
+            self.cells.len()
+        );
+        let _ = writeln!(
+            s,
+            "workload | accelerator  | design                | latency ms | energy mJ | area mm2"
+        );
+        for c in self.frontier() {
+            let _ = writeln!(
+                s,
+                "{:<8} | {:<12} | {:<21} | {:>10.3} | {:>9.3} | {:>8.2}",
+                c.workload,
+                c.accelerator,
+                c.design,
+                c.mean_latency_ms,
+                c.mean_energy_mj,
+                c.area_mm2
+            );
+        }
+        let _ = writeln!(
+            s,
+            "SPADE dominates DenseAcc (same form factor, latency & energy) in {}/{} config cells",
+            self.spade_dense_wins, self.spade_dense_comparisons
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_drops_dominated_points() {
+        let points = [
+            [1.0, 1.0, 1.0], // frontier
+            [2.0, 2.0, 2.0], // dominated by the first
+            [0.5, 3.0, 1.0], // frontier (best latency)
+            [1.0, 1.0, 2.0], // dominated by the first (tie on two dims)
+        ];
+        let keep = pareto_frontier(&points);
+        assert_eq!(keep, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn pareto_keeps_exact_ties() {
+        let points = [[1.0, 2.0, 3.0], [1.0, 2.0, 3.0], [4.0, 5.0, 6.0]];
+        let keep = pareto_frontier(&points);
+        assert_eq!(keep, vec![true, true, false]);
+    }
+
+    #[test]
+    fn pareto_of_empty_and_single() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert_eq!(pareto_frontier(&[[1.0, 1.0, 1.0]]), vec![true]);
+    }
+
+    #[test]
+    fn axes_expand_to_the_cross_product() {
+        let axes = SweepAxes::paper_neighbourhood();
+        assert_eq!(axes.expand_configs().len(), 3 * 2 * 2);
+        assert_eq!(axes.num_swept_axes(), 4);
+        assert!(SweepAxes::reduced().num_swept_axes() >= 3);
+    }
+
+    #[test]
+    fn sweep_covers_all_four_accelerators_and_finds_a_frontier() {
+        let mut params = DseParams::default_for(WorkloadScale::Reduced);
+        // Smallest grid that still crosses three axes.
+        params.axes = SweepAxes {
+            pe_dims: vec![(16, 16), (64, 64)],
+            sram_scales: vec![1.0],
+            dram_bytes_per_cycle: vec![12.8, 25.6],
+            dataflow: vec![
+                DataflowOptions::all_disabled(),
+                DataflowOptions::all_enabled(),
+            ],
+        };
+        params.num_frames = 3;
+        let result = run_dse(&params);
+        for name in ["SPADE", "DenseAcc", "SpConv2D-Acc", "PointAcc"] {
+            assert!(
+                result.cells.iter().any(|c| c.accelerator == name),
+                "missing {name}"
+            );
+        }
+        // The DRAM-bandwidth-insensitive baselines collapse that axis: one
+        // cell per (PE array, SRAM) form factor — here 2 form factors despite
+        // 4 configs — and their labels carry no bandwidth token.
+        let spconv_cells: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.accelerator == "SpConv2D-Acc")
+            .collect();
+        assert_eq!(spconv_cells.len(), 2);
+        assert!(spconv_cells.iter().all(|c| !c.design.contains("Bpc")));
+        let frontier = result.frontier();
+        assert!(!frontier.is_empty());
+        // Fig. 9 consistency: SPADE beats the dense design of the same form
+        // factor somewhere in the grid.
+        assert!(result.spade_dense_wins >= 1);
+        // Every frontier cell is genuinely non-dominated.
+        for f in &frontier {
+            assert!(!result.cells.iter().any(|c| {
+                c.workload == f.workload
+                    && c.mean_latency_ms <= f.mean_latency_ms
+                    && c.mean_energy_mj <= f.mean_energy_mj
+                    && c.area_mm2 <= f.area_mm2
+                    && (c.mean_latency_ms < f.mean_latency_ms
+                        || c.mean_energy_mj < f.mean_energy_mj
+                        || c.area_mm2 < f.area_mm2)
+            }));
+        }
+    }
+}

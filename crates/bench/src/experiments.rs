@@ -1,9 +1,10 @@
-//! One function per table / figure of the paper's evaluation.
+//! One function per table / figure of the paper's evaluation, plus the
+//! cross-cutting `accelerators` comparison and the `dse` design-space sweep.
 //!
 //! Each function returns the formatted series it regenerates (and is also
 //! printed by the `spade-experiments` binary and the Criterion benches).
-//! EXPERIMENTS.md records the paper-reported values next to the values these
-//! functions measure.
+//! `ARCHITECTURE.md` maps every paper figure/table to its experiment and
+//! bench file.
 
 use crate::workload::{
     model_run, model_run_with_pruning, simulate_on, simulate_on_spade, WorkloadScale,
@@ -34,6 +35,7 @@ pub fn run_experiment(id: &str, scale: WorkloadScale) -> Option<String> {
         "fig13" => fig13(scale),
         "fig14_15" => fig14_15(scale),
         "accelerators" => accelerators(scale),
+        "dse" => dse(scale),
         _ => return None,
     };
     Some(out)
@@ -57,7 +59,18 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
         "fig13",
         "fig14_15",
         "accelerators",
+        "dse",
     ]
+}
+
+/// Design-space exploration: the default configuration sweep (PE dims ×
+/// SRAM × DRAM bandwidth × dataflow) across a multi-frame drive scenario,
+/// printed as the Pareto-frontier summary. Use the `spade-experiments`
+/// binary's `--frames`/`--drive-seed`/`--csv`/`--json` flags to reshape the
+/// drive or export the full grid.
+#[must_use]
+pub fn dse(scale: WorkloadScale) -> String {
+    crate::dse::run_dse(&crate::dse::DseParams::default_for(scale)).summary()
 }
 
 /// The full accelerator comparison set of Fig. 9/14 — SPADE, DenseAcc,
@@ -499,7 +512,7 @@ mod tests {
             assert!(!out.is_empty(), "{id} produced no output");
         }
         assert!(run_experiment("nonexistent", WorkloadScale::Reduced).is_none());
-        assert_eq!(all_experiment_ids().len(), 14);
+        assert_eq!(all_experiment_ids().len(), 15);
     }
 
     #[test]

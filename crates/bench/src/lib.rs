@@ -4,12 +4,18 @@
 //! and figure of the paper's evaluation, all driven by the synthetic KITTI-
 //! like / nuScenes-like workloads. The `spade-experiments` binary and the
 //! Criterion benches print the same series.
+//!
+//! Beyond the paper's figures, [`dse`] sweeps the hardware configuration
+//! space against multi-frame drive scenarios and extracts latency/energy/area
+//! Pareto frontiers (the `dse` experiment).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dse;
 pub mod experiments;
 pub mod workload;
 
+pub use dse::{run_dse, DseParams, DseResult, SweepAxes};
 pub use experiments::run_experiment;
-pub use workload::{model_run, ModelRun, WorkloadScale};
+pub use workload::{model_run, model_run_on_frame, ModelRun, WorkloadScale};

@@ -58,6 +58,21 @@ pub fn model_run_with_pruning(
     pruning: PruningConfig,
 ) -> ModelRun {
     let (preset, frame) = frame_for(kind, seed);
+    model_run_on_frame(kind, &preset, &frame, seed, scale, pruning)
+}
+
+/// Runs a model on an externally generated frame (e.g. one frame of a
+/// [`spade_pointcloud::DriveScenario`]), so multi-frame workloads can build
+/// each frame once and re-run it under many accelerator configurations.
+#[must_use]
+pub fn model_run_on_frame(
+    kind: ModelKind,
+    preset: &DatasetPreset,
+    frame: &Frame,
+    seed: u64,
+    scale: WorkloadScale,
+    pruning: PruningConfig,
+) -> ModelRun {
     let pillar_cfg = preset.pillar_config();
     let base_grid = preset.grid_shape();
     let (grid, coords) = match scale {
@@ -125,8 +140,8 @@ mod tests {
     fn reduced_runs_are_sparser_than_dense_baseline() {
         // At quarter scale the later backbone stages saturate (their grids are
         // only a few hundred cells), so the savings are compressed relative to
-        // the paper-scale run; the full-scale numbers are recorded in
-        // EXPERIMENTS.md.
+        // the paper-scale run; regenerate the full-scale numbers with the
+        // `spade-experiments` binary (`table1`).
         let sparse = model_run(ModelKind::Spp3, 1, WorkloadScale::Reduced);
         let dense = model_run(ModelKind::Pp, 1, WorkloadScale::Reduced);
         assert!(sparse.trace.total_macs() < dense.trace.total_macs());

@@ -1,4 +1,7 @@
-//! SPADE accelerator configurations (high-end and low-end).
+//! SPADE accelerator configurations: the paper's high-end and low-end design
+//! points, plus per-axis builders (`with_pe_array`, `with_sram_scale`,
+//! `with_dram_bytes_per_cycle`, …) used by the design-space exploration
+//! engine to grid the configuration space around them.
 
 use serde::{Deserialize, Serialize};
 
@@ -55,6 +58,59 @@ impl SpadeConfig {
             rule_buf_kib: 16,
             dram_bytes_per_cycle: 12.8,
         }
+    }
+
+    /// Returns this configuration with a different PE array shape.
+    ///
+    /// One of the sweep axes of the design-space exploration engine; the
+    /// other builders below cover the remaining axes so a grid of
+    /// configurations can be expressed as chained edits of a base point.
+    #[must_use]
+    pub const fn with_pe_array(mut self, rows: usize, cols: usize) -> Self {
+        self.pe_rows = rows;
+        self.pe_cols = cols;
+        self
+    }
+
+    /// Returns this configuration with a different DRAM bandwidth
+    /// (bytes per cycle).
+    #[must_use]
+    pub fn with_dram_bytes_per_cycle(mut self, bytes_per_cycle: f64) -> Self {
+        self.dram_bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// Returns this configuration with every on-chip buffer scaled by
+    /// `scale` (each buffer is floored at 1 KiB so a small scale can never
+    /// produce a zero-capacity buffer).
+    #[must_use]
+    pub fn with_sram_scale(mut self, scale: f64) -> Self {
+        let scaled = |kib: u64| (((kib as f64) * scale).round() as u64).max(1);
+        self.buf_in_kib = scaled(self.buf_in_kib);
+        self.buf_out_kib = scaled(self.buf_out_kib);
+        self.buf_wgt_kib = scaled(self.buf_wgt_kib);
+        self.rule_buf_kib = scaled(self.rule_buf_kib);
+        self
+    }
+
+    /// Returns this configuration with a different clock frequency (GHz).
+    #[must_use]
+    pub fn with_freq_ghz(mut self, freq_ghz: f64) -> Self {
+        self.freq_ghz = freq_ghz;
+        self
+    }
+
+    /// Compact label identifying this design point in sweep output, e.g.
+    /// `"32x32/240KiB/12.8Bpc"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{}/{}KiB/{}Bpc",
+            self.pe_rows,
+            self.pe_cols,
+            self.total_sram_kib(),
+            self.dram_bytes_per_cycle
+        )
     }
 
     /// Number of processing elements.
@@ -141,6 +197,34 @@ mod tests {
             c.total_sram_kib(),
             c.buf_in_kib + c.buf_out_kib + c.buf_wgt_kib + c.rule_buf_kib
         );
+    }
+
+    #[test]
+    fn builders_edit_one_axis_at_a_time() {
+        let base = SpadeConfig::high_end();
+        let c = base
+            .with_pe_array(32, 32)
+            .with_dram_bytes_per_cycle(12.8)
+            .with_sram_scale(0.5);
+        assert_eq!(c.num_pes(), 1024);
+        assert!((c.dram_bytes_per_cycle - 12.8).abs() < 1e-12);
+        assert_eq!(c.total_sram_kib(), base.total_sram_kib() / 2);
+        // Untouched axes keep the base values.
+        assert!((c.freq_ghz - base.freq_ghz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sram_scale_floors_at_one_kib() {
+        let c = SpadeConfig::low_end().with_sram_scale(0.001);
+        assert!(c.buf_in_kib >= 1 && c.rule_buf_kib >= 1);
+    }
+
+    #[test]
+    fn label_names_the_design_point() {
+        let label = SpadeConfig::high_end().label();
+        assert!(label.contains("64x64"), "{label}");
+        assert!(label.contains("480KiB"), "{label}");
+        assert!(label.contains("25.6Bpc"), "{label}");
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use accelerator::{
 pub use config::{DataflowOptions, SpadeConfig};
 pub use dataflow::LayerPerf;
 pub use gsu::ActiveTileManager;
-pub use report::AcceleratorReport;
+pub use report::{AcceleratorReport, ReportTable, ReportValue};
 pub use rgu::RuleGenerationUnit;

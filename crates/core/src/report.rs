@@ -1,9 +1,15 @@
-//! Area and efficiency reporting (Fig. 10).
+//! Area and efficiency reporting (Fig. 10) and tabular result export.
+//!
+//! Besides the per-instance [`AcceleratorReport`], this module provides
+//! [`ReportTable`] — a small schema'd table that serialises to CSV and JSON
+//! without external dependencies — used by the design-space exploration
+//! engine (and any future experiment) to export machine-readable results.
 
 use crate::accelerator::NetworkPerf;
 use crate::config::SpadeConfig;
 use serde::{Deserialize, Serialize};
 use spade_sim::AreaModel;
+use std::fmt::Write as _;
 
 /// Area breakdown and efficiency metrics of an accelerator instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,7 +43,10 @@ impl AcceleratorReport {
         // high-end design's total area; the absolute cost is dominated by the
         // rule buffers and coordinate FIFOs and is nearly independent of the
         // PE-array size.
-        let sparsity_support_mm2 = 0.045 * (pe_array_mm2 + sram_mm2 + control_mm2).max(4.0);
+        let sparsity_support_mm2 = 0.045
+            * area
+                .datapath_mm2(config.num_pes(), config.total_sram_kib())
+                .max(4.0);
         Self {
             name: name.to_owned(),
             pe_array_mm2,
@@ -101,6 +110,191 @@ impl AcceleratorReport {
     }
 }
 
+/// One value of a [`ReportTable`] cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportValue {
+    /// A text cell.
+    Text(String),
+    /// A floating-point cell.
+    Float(f64),
+    /// An integer cell.
+    Int(i64),
+    /// A boolean cell.
+    Bool(bool),
+}
+
+impl From<&str> for ReportValue {
+    fn from(v: &str) -> Self {
+        ReportValue::Text(v.to_owned())
+    }
+}
+impl From<String> for ReportValue {
+    fn from(v: String) -> Self {
+        ReportValue::Text(v)
+    }
+}
+impl From<f64> for ReportValue {
+    fn from(v: f64) -> Self {
+        ReportValue::Float(v)
+    }
+}
+impl From<i64> for ReportValue {
+    fn from(v: i64) -> Self {
+        ReportValue::Int(v)
+    }
+}
+impl From<usize> for ReportValue {
+    fn from(v: usize) -> Self {
+        ReportValue::Int(v as i64)
+    }
+}
+impl From<bool> for ReportValue {
+    fn from(v: bool) -> Self {
+        ReportValue::Bool(v)
+    }
+}
+
+/// A fixed-schema result table that serialises to CSV and JSON.
+///
+/// The vendored `serde` stub cannot serialise (see `vendor/serde`), so the
+/// writers here are hand-rolled: CSV quotes fields containing commas, quotes,
+/// or newlines; JSON emits an array of objects keyed by column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportTable {
+    columns: Vec<String>,
+    rows: Vec<Vec<ReportValue>>,
+}
+
+impl ReportTable {
+    /// Creates an empty table with the given column names.
+    #[must_use]
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the column count — a schema
+    /// bug in the caller, not a runtime condition.
+    pub fn push_row(&mut self, row: Vec<ReportValue>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The column names.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialises to CSV with a header row.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn csv_escape(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self.columns.iter().map(|c| csv_escape(c)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| match v {
+                    ReportValue::Text(t) => csv_escape(t),
+                    ReportValue::Float(f) => format!("{f}"),
+                    ReportValue::Int(i) => format!("{i}"),
+                    ReportValue::Bool(b) => format!("{b}"),
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises to a JSON array of objects keyed by column name.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn json_escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("[");
+        for (ri, row) in self.rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            for (ci, (col, v)) in self.columns.iter().zip(row).enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": ", json_escape(col));
+                match v {
+                    ReportValue::Text(t) => {
+                        let _ = write!(out, "\"{}\"", json_escape(t));
+                    }
+                    ReportValue::Float(f) if f.is_finite() => {
+                        let _ = write!(out, "{f}");
+                    }
+                    // JSON has no NaN/Infinity literals.
+                    ReportValue::Float(_) => out.push_str("null"),
+                    ReportValue::Int(i) => {
+                        let _ = write!(out, "{i}");
+                    }
+                    ReportValue::Bool(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +322,43 @@ mod tests {
         let le = AcceleratorReport::for_spade("SPADE.LE", &SpadeConfig::low_end());
         assert!(le.total_mm2() < he.total_mm2());
         assert!(le.peak_gops < he.peak_gops);
+    }
+
+    #[test]
+    fn table_serialises_to_csv_with_escaping() {
+        let mut t = ReportTable::new(vec!["name", "latency_ms", "wins"]);
+        t.push_row(vec!["plain".into(), 1.5.into(), true.into()]);
+        t.push_row(vec!["a,\"b\"".into(), 2.0.into(), false.into()]);
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("name,latency_ms,wins"));
+        assert_eq!(lines.next(), Some("plain,1.5,true"));
+        assert_eq!(lines.next(), Some("\"a,\"\"b\"\"\",2,false"));
+        assert_eq!(t.num_rows(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_serialises_to_json() {
+        let mut t = ReportTable::new(vec!["k", "v"]);
+        t.push_row(vec!["line\"1\"".into(), ReportValue::Int(7)]);
+        let json = t.to_json();
+        assert!(json.contains("\"k\": \"line\\\"1\\\"\""), "{json}");
+        assert!(json.contains("\"v\": 7"), "{json}");
+        assert!(json.starts_with('[') && json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn non_finite_floats_become_json_null() {
+        let mut t = ReportTable::new(vec!["x"]);
+        t.push_row(vec![f64::NAN.into()]);
+        assert!(t.to_json().contains("\"x\": null"));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn row_length_mismatch_panics() {
+        let mut t = ReportTable::new(vec!["a", "b"]);
+        t.push_row(vec![1.0.into()]);
     }
 }

@@ -111,7 +111,16 @@ impl DatasetPreset {
     /// Generates one complete frame (scene → LiDAR → pillars), seeded.
     #[must_use]
     pub fn generate_frame(&self, seed: u64) -> Frame {
-        let scene = SceneGenerator::new(self.scene.clone(), seed).generate();
+        self.generate_frame_with_scene_config(self.scene.clone(), seed)
+    }
+
+    /// Generates a frame from an explicit scene configuration while keeping
+    /// this preset's LiDAR and pillarisation settings — the one frame-
+    /// construction path shared with [`crate::drive::DriveScenario`], which
+    /// modulates scene density per frame.
+    #[must_use]
+    pub fn generate_frame_with_scene_config(&self, scene_cfg: SceneConfig, seed: u64) -> Frame {
+        let scene = SceneGenerator::new(scene_cfg, seed).generate();
         let points = scene.sample_lidar(&self.lidar, seed.wrapping_add(1));
         let pillars = pillarize(&points, &self.pillar);
         Frame {

@@ -19,6 +19,8 @@
 //! * [`lidar`] — LiDAR-style point sampling from a scene.
 //! * [`dataset`] — KITTI-like and nuScenes-like presets (detection range,
 //!   pillar size, BEV grid shape, frame statistics).
+//! * [`drive`] — multi-frame drive scenarios with evolving object density
+//!   (the workload axis of the design-space exploration engine).
 //! * [`pillarize`] — point cloud → active pillar coordinates + per-pillar
 //!   point groups.
 //! * [`eval`] — detection matching, average precision (AP), and mAP.
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod drive;
 pub mod eval;
 pub mod geometry;
 pub mod lidar;
@@ -53,6 +56,7 @@ pub mod proxy;
 pub mod scene;
 
 pub use dataset::DatasetPreset;
+pub use drive::{DensityProfile, DriveFrame, DriveScenario, DriveScenarioConfig};
 pub use eval::{evaluate_detections, Detection, EvalResult};
 pub use geometry::{BoundingBox3, Point3};
 pub use lidar::LidarConfig;

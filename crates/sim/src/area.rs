@@ -36,6 +36,17 @@ impl AreaModel {
     pub fn sram_mm2(&self, kib: u64) -> f64 {
         self.sram_per_kib_mm2 * kib as f64
     }
+
+    /// Area of the dense datapath of an accelerator instance — PE array plus
+    /// SRAM plus fixed control — before any sparsity-support hardware.
+    ///
+    /// This is the quantity every design point of a configuration sweep
+    /// queries; sparsity-specific additions (RGU/GSU, sorters, caches) are
+    /// layered on top by the reporting layer.
+    #[must_use]
+    pub fn datapath_mm2(&self, num_pes: usize, sram_kib: u64) -> f64 {
+        self.pe_array_mm2(num_pes) + self.sram_mm2(sram_kib) + self.control_mm2
+    }
 }
 
 #[cfg(test)]
@@ -52,5 +63,12 @@ mod tests {
     fn sram_area_scales_with_capacity() {
         let a = AreaModel::asic_32nm();
         assert!(a.sram_mm2(512) > a.sram_mm2(64));
+    }
+
+    #[test]
+    fn datapath_sums_components() {
+        let a = AreaModel::asic_32nm();
+        let total = a.datapath_mm2(4096, 480);
+        assert!((total - (a.pe_array_mm2(4096) + a.sram_mm2(480) + a.control_mm2)).abs() < 1e-12);
     }
 }

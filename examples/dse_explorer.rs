@@ -1,0 +1,52 @@
+//! Design-space exploration walkthrough: sweep the hardware grid against a
+//! suburb-to-downtown drive scenario, print how occupancy (and therefore the
+//! sparse win) drifts across the drive, and extract the latency/energy/area
+//! Pareto frontier.
+//!
+//! ```text
+//! cargo run --release --example dse_explorer
+//! ```
+//!
+//! For the full default sweep with CSV/JSON export, use the binary instead:
+//! `cargo run --release -p spade-bench --bin spade-experiments -- dse --csv pareto.csv`.
+
+use spade::pointcloud::{DatasetPreset, DensityProfile, DriveScenario, DriveScenarioConfig};
+use spade_bench::dse::{run_dse, DseParams, SweepAxes};
+use spade_bench::WorkloadScale;
+
+fn main() {
+    // 1. The workload axis: a drive whose density doubles by the end.
+    let scenario = DriveScenario::new(
+        DatasetPreset::kitti_like(),
+        DriveScenarioConfig {
+            num_frames: 6,
+            base_seed: 2024,
+            profile: DensityProfile::Ramp {
+                start: 0.5,
+                end: 2.0,
+            },
+        },
+    );
+    println!("Drive scenario (KITTI-like, 6 frames, density 0.5x -> 2.0x):");
+    for f in scenario.frames() {
+        println!(
+            "  frame {} | density {:.2}x | {:>6} points | {:>5} active pillars | occupancy {:.2}%",
+            f.index,
+            f.density_factor,
+            f.frame.num_points,
+            f.frame.pillars.num_active(),
+            f.frame.pillars.occupancy() * 100.0,
+        );
+    }
+
+    // 2. The hardware axes, crossed with that drive. The reduced scale keeps
+    //    this example snappy; the `dse` experiment runs the paper-scale grid.
+    let mut params = DseParams::default_for(WorkloadScale::Reduced);
+    params.axes = SweepAxes::paper_neighbourhood();
+    println!(
+        "\nSweeping {} configurations...",
+        params.axes.expand_configs().len()
+    );
+    let result = run_dse(&params);
+    println!("\n{}", result.summary());
+}

@@ -6,6 +6,7 @@
 #   2. cargo clippy -D warnings — lints, all targets
 #   3. cargo test -q            — unit + integration + property + doc tests
 #   4. cargo bench --no-run     — all 13 figure benches must compile
+#   5. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,5 +22,8 @@ cargo test -q --workspace
 
 echo "==> cargo bench -p spade-bench --no-run"
 cargo bench -p spade-bench --no-run
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> CI gate passed"

@@ -1,0 +1,136 @@
+//! Integration tests of the design-space exploration subsystem: the drive
+//! scenario feeding the sweep, determinism of the whole pipeline, and the
+//! paper-consistency property (SPADE dominating DenseAcc at equal form
+//! factor, Fig. 9).
+
+use spade::core::DataflowOptions;
+use spade::pointcloud::{DatasetPreset, DensityProfile, DriveScenario, DriveScenarioConfig};
+use spade_bench::dse::{run_dse, DseParams, SweepAxes};
+use spade_bench::WorkloadScale;
+
+fn small_params() -> DseParams {
+    let mut params = DseParams::default_for(WorkloadScale::Reduced);
+    params.axes = SweepAxes {
+        pe_dims: vec![(16, 16), (64, 64)],
+        sram_scales: vec![0.5, 1.0],
+        dram_bytes_per_cycle: vec![25.6],
+        dataflow: vec![DataflowOptions::all_enabled()],
+    };
+    params.num_frames = 3;
+    params
+}
+
+#[test]
+fn dse_sweep_is_deterministic_for_a_seed() {
+    let params = small_params();
+    let a = run_dse(&params);
+    let b = run_dse(&params);
+    assert_eq!(a.cells.len(), b.cells.len());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn dse_covers_the_grid_and_marks_a_frontier() {
+    let params = small_params();
+    let result = run_dse(&params);
+    // 4 configs x 4 accelerator cells (1 SPADE dataflow setting + 3
+    // baselines) x 1 workload.
+    assert_eq!(result.num_configs, 4);
+    assert_eq!(result.cells.len(), 16);
+    assert!(result.num_swept_axes >= 2);
+    let frontier = result.frontier();
+    assert!(!frontier.is_empty());
+    assert!(
+        frontier.len() < result.cells.len(),
+        "everything on frontier"
+    );
+    // Fig. 9 consistency: SPADE beats the same-form-factor dense design in
+    // at least one configuration cell.
+    assert!(result.spade_dense_wins >= 1);
+}
+
+#[test]
+fn dse_export_matches_cell_count() {
+    let result = run_dse(&small_params());
+    let csv = result.to_csv();
+    // Header + one line per cell.
+    assert_eq!(csv.lines().count(), result.cells.len() + 1);
+    assert!(csv.starts_with("workload,accelerator,design,"));
+    let json = result.to_json();
+    assert_eq!(
+        json.matches("\"workload\"").count(),
+        result.cells.len(),
+        "one JSON object per cell"
+    );
+}
+
+#[test]
+fn drive_scenario_feeds_distinct_frames_into_the_sweep() {
+    let scenario = DriveScenario::new(
+        DatasetPreset::kitti_like(),
+        DriveScenarioConfig {
+            num_frames: 5,
+            base_seed: 11,
+            profile: DensityProfile::Ramp {
+                start: 0.5,
+                end: 2.0,
+            },
+        },
+    );
+    let frames = scenario.frames();
+    assert_eq!(frames.len(), 5);
+    // Frames differ (the drive moves) and density rises along the ramp.
+    assert_ne!(
+        frames[0].frame.pillars.active_coords,
+        frames[4].frame.pillars.active_coords
+    );
+    assert!(frames[4].frame.pillars.num_active() > frames[0].frame.pillars.num_active());
+}
+
+#[test]
+fn denser_traffic_narrows_spades_win() {
+    // Run the sparse model on the sparse and dense ends of the drive via the
+    // sweep machinery: the SPADE-vs-DenseAcc latency gap should be wider on
+    // the sparse (early) frame than on the dense (late) frame, which is why
+    // single-frame evaluation misstates the benefit over a whole drive.
+    use spade::baselines::DenseAccelerator;
+    use spade::core::{SpadeAccelerator, SpadeConfig};
+    use spade::nn::{ModelKind, PruningConfig};
+    use spade_bench::workload::{model_run_on_frame, simulate_on};
+
+    let preset = DatasetPreset::kitti_like();
+    let scenario = DriveScenario::new(
+        preset.clone(),
+        DriveScenarioConfig {
+            num_frames: 5,
+            base_seed: 2024,
+            profile: DensityProfile::Ramp {
+                start: 0.5,
+                end: 2.0,
+            },
+        },
+    );
+    let frames = scenario.frames();
+    let cfg = SpadeConfig::high_end();
+    let spade = SpadeAccelerator::new(cfg);
+    let dense = DenseAccelerator::new(cfg);
+    let gap_at = |idx: usize| {
+        let run = model_run_on_frame(
+            ModelKind::Spp3,
+            &preset,
+            &frames[idx].frame,
+            idx as u64,
+            WorkloadScale::Reduced,
+            PruningConfig::default(),
+        );
+        simulate_on(&dense, &run).latency_ms / simulate_on(&spade, &run).latency_ms
+    };
+    let sparse_gap = gap_at(0);
+    let dense_gap = gap_at(4);
+    assert!(sparse_gap > 1.0 && dense_gap > 1.0);
+    assert!(
+        sparse_gap > dense_gap,
+        "speedup should shrink as occupancy grows: sparse {sparse_gap:.2}x vs dense {dense_gap:.2}x"
+    );
+}

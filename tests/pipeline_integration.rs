@@ -85,8 +85,8 @@ fn sparse_variants_order_matches_table_one() {
     // SPP1 (standard SpConv, unconstrained dilation) saves the least; both
     // SPP2 (SpConv-P) and SPP3 (submanifold) save substantially more. The
     // SPP3-vs-SPP2 gap only shows at paper-scale grids (quarter-scale stages
-    // saturate), so it is asserted by the full-scale runs in EXPERIMENTS.md
-    // rather than here.
+    // saturate), so it is left to full-scale `spade-experiments table1` runs
+    // rather than asserted here.
     let s1 = reduced_run(ModelKind::Spp1, 9).0.computation_savings();
     let s2 = reduced_run(ModelKind::Spp2, 9).0.computation_savings();
     let s3 = reduced_run(ModelKind::Spp3, 9).0.computation_savings();
@@ -101,7 +101,8 @@ fn spade_speedup_over_dense_acc_grows_with_sparsity() {
     let dense: &dyn Accelerator = &DenseAccelerator::new(cfg);
     // SPP1's savings at quarter scale (~15%) are close to SPADE's scheduling
     // overhead, so only the moderately and highly sparse variants are asserted
-    // to beat DenseAcc here; the full-scale SPP1 numbers are in EXPERIMENTS.md.
+    // to beat DenseAcc here; regenerate the full-scale SPP1 numbers with
+    // `spade-experiments fig10`.
     let mut results = Vec::new();
     for kind in [ModelKind::Spp2, ModelKind::Spp3] {
         let (trace, workloads) = reduced_run(kind, 13);
