@@ -9,17 +9,22 @@
 //! spade-experiments --reduced    # quarter-scale grids (fast smoke run)
 //!
 //! # DSE-specific flags (only meaningful with the `dse` experiment):
+//! spade-experiments dse --jobs 4                    # sweep on 4 worker threads
 //! spade-experiments dse --frames 8 --drive-seed 7   # reshape the drive
 //! spade-experiments dse --csv pareto.csv            # export the grid as CSV
 //! spade-experiments dse --json pareto.json          # ... or as JSON
 //! ```
+//!
+//! `--jobs` defaults to the machine's available parallelism; the sweep
+//! result is bit-identical for every worker count.
 
-use spade_bench::dse::{run_dse, DseParams};
-use spade_bench::{run_experiment, WorkloadScale};
+use spade_bench::dse::{run_dse_with_jobs, DseParams};
+use spade_bench::{default_jobs, run_experiment, WorkloadScale};
 
 struct Cli {
     scale: WorkloadScale,
     ids: Vec<String>,
+    jobs: Option<usize>,
     frames: Option<usize>,
     drive_seed: Option<u64>,
     csv_path: Option<String>,
@@ -47,6 +52,7 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         scale: WorkloadScale::Full,
         ids: Vec::new(),
+        jobs: None,
         frames: None,
         drive_seed: None,
         csv_path: None,
@@ -56,6 +62,8 @@ fn parse_cli() -> Cli {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--reduced" => cli.scale = WorkloadScale::Reduced,
+            // 0 is accepted and clamped to 1 by the worker pool.
+            "--jobs" => cli.jobs = Some(int_value_of(&mut it, "--jobs")),
             "--frames" => {
                 let frames: usize = int_value_of(&mut it, "--frames");
                 if frames == 0 {
@@ -83,8 +91,14 @@ fn run_dse_with(cli: &Cli) {
     if let Some(seed) = cli.drive_seed {
         params.base_seed = seed;
     }
-    let result = run_dse(&params);
-    println!("\n=== dse ===\n{}", result.summary());
+    // The pool clamps 0 to 1 internally; clamp here too so the banner below
+    // reports the worker count that actually runs.
+    let jobs = cli.jobs.unwrap_or_else(default_jobs).max(1);
+    let result = run_dse_with_jobs(&params, jobs);
+    println!(
+        "\n=== dse ({jobs} worker threads) ===\n{}",
+        result.summary()
+    );
     if let Some(path) = &cli.csv_path {
         std::fs::write(path, result.to_csv()).expect("failed to write CSV");
         println!("wrote {} cells to {path}", result.cells.len());

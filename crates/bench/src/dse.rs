@@ -3,8 +3,8 @@
 //!
 //! The paper evaluates two fixed design points (SPADE.HE and SPADE.LE) on
 //! single synthetic frames. This module sweeps a grid over [`SpadeConfig`]
-//! axes — PE-array shape, on-chip SRAM capacity, DRAM bandwidth, and the
-//! dataflow optimisations — crossed with the frames of a
+//! axes — PE-array shape, on-chip SRAM capacity, clock frequency, DRAM
+//! bandwidth, and the dataflow optimisations — crossed with the frames of a
 //! [`DriveScenario`], runs every `(configuration, accelerator, frame)` cell
 //! through the common [`Accelerator`] trait, and extracts the
 //! latency/energy/area Pareto frontier per workload. The output answers
@@ -12,10 +12,18 @@
 //! stop paying for itself as the array shrinks, and how does the win move as
 //! a drive passes through denser traffic.
 //!
-//! Entry points: [`run_dse`] with [`DseParams`], surfaced as the `dse`
-//! experiment of the `spade-experiments` binary (which can also export the
-//! full grid as CSV/JSON via [`ReportTable`]).
+//! Every cell is an independent simulation, so the sweep fans out across a
+//! [`WorkerPool`]: [`run_dse_with_jobs`] builds an indexed work-list of
+//! cells, distributes it over `jobs` scoped threads, and reassembles the
+//! results in index order — parallel output is bit-identical to a serial
+//! run (`tests/dse_integration.rs` asserts it).
+//!
+//! Entry points: [`run_dse`] / [`run_dse_with_jobs`] with [`DseParams`],
+//! surfaced as the `dse` experiment of the `spade-experiments` binary
+//! (which can also export the full grid as CSV/JSON via [`ReportTable`] and
+//! takes a `--jobs N` flag).
 
+use crate::pool::WorkerPool;
 use crate::workload::{model_run_on_frame, simulate_on, ModelRun, WorkloadScale};
 use spade_baselines::{DenseAccelerator, PointAccModel, SpConv2dAccelerator};
 use spade_core::{
@@ -24,35 +32,62 @@ use spade_core::{
 };
 use spade_nn::{ModelKind, PruningConfig};
 use spade_pointcloud::dataset::{DatasetKind, DatasetPreset};
-use spade_pointcloud::{DensityProfile, DriveScenario, DriveScenarioConfig};
+use spade_pointcloud::{DensityProfile, DriveFrame, DriveScenario, DriveScenarioConfig};
 use std::fmt::Write as _;
 
 /// The swept hardware axes. Every combination of the configuration axes
-/// (PE dims × SRAM scale × DRAM bandwidth) yields one [`SpadeConfig`]; the
-/// dataflow axis applies to the SPADE model only (the baselines have no
-/// dataflow optimisations to toggle).
+/// (PE dims × SRAM scale × clock frequency × DRAM bandwidth) yields one
+/// [`SpadeConfig`]; the dataflow axis applies to the SPADE model only (the
+/// baselines have no dataflow optimisations to toggle).
+///
+/// Duplicate values within an axis are ignored: [`SweepAxes::expand_configs`]
+/// dedupes each axis (first occurrence wins) so a repeated entry — e.g.
+/// `sram_scales: [1.0, 1.0]` — cannot mint duplicate cells that would
+/// survive Pareto extraction as fake exact ties.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepAxes {
     /// PE-array shapes `(rows, cols)` to sweep.
     pub pe_dims: Vec<(usize, usize)>,
     /// Multipliers applied to the base configuration's buffer capacities.
     pub sram_scales: Vec<f64>,
+    /// Clock frequencies in GHz. Higher clocks cut latency but pay a DVFS
+    /// energy premium (dynamic energy scales with the square of the supply
+    /// voltage — see `EnergyModel::voltage_factor`), so this axis trades
+    /// latency against energy rather than being a free win. Note that
+    /// `dram_bytes_per_cycle` is expressed per *core* cycle (a
+    /// same-PLL memory interface), so absolute DRAM bandwidth co-scales
+    /// with the clock.
+    pub freq_ghz: Vec<f64>,
     /// DRAM bandwidths in bytes per cycle.
     pub dram_bytes_per_cycle: Vec<f64>,
     /// Dataflow-optimisation settings (SPADE cells only).
     pub dataflow: Vec<DataflowOptions>,
 }
 
+/// Dedupes an axis in place-order: keeps the first occurrence of every
+/// value, so a sloppy axis spec cannot emit duplicate sweep cells.
+fn dedup_axis<T: PartialEq + Clone>(values: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(values.len());
+    for v in values {
+        if !out.contains(v) {
+            out.push(v.clone());
+        }
+    }
+    out
+}
+
 impl SweepAxes {
     /// The default grid around the paper's two design points: three array
-    /// shapes from LE (16×16) to HE (64×64), two SRAM budgets, two DRAM
-    /// bandwidths, and dataflow optimisations on/off — a 4-axis sweep with
-    /// 24 SPADE cells per workload.
+    /// shapes from LE (16×16) to HE (64×64), two SRAM budgets, two clock
+    /// frequencies (the paper's 1 GHz and an overclocked 1.5 GHz), two DRAM
+    /// bandwidths, and dataflow optimisations on/off — a 5-axis sweep with
+    /// 48 SPADE cells per workload.
     #[must_use]
     pub fn paper_neighbourhood() -> Self {
         Self {
             pe_dims: vec![(16, 16), (32, 32), (64, 64)],
             sram_scales: vec![0.5, 1.0],
+            freq_ghz: vec![1.0, 1.5],
             dram_bytes_per_cycle: vec![12.8, 25.6],
             dataflow: vec![
                 DataflowOptions::all_disabled(),
@@ -61,7 +96,7 @@ impl SweepAxes {
         }
     }
 
-    /// A smaller grid for tests and smoke runs: still three multi-valued
+    /// A smaller grid for tests and smoke runs: still four multi-valued
     /// configuration axes, but only two values per axis and a single
     /// dataflow setting.
     #[must_use]
@@ -69,19 +104,22 @@ impl SweepAxes {
         Self {
             pe_dims: vec![(16, 16), (64, 64)],
             sram_scales: vec![0.5, 1.0],
+            freq_ghz: vec![1.0, 1.5],
             dram_bytes_per_cycle: vec![12.8, 25.6],
             dataflow: vec![DataflowOptions::all_enabled()],
         }
     }
 
-    /// Number of axes being swept (those with more than one value).
+    /// Number of axes being swept (those with more than one *distinct*
+    /// value — duplicates within an axis do not count).
     #[must_use]
     pub fn num_swept_axes(&self) -> usize {
         [
-            self.pe_dims.len(),
-            self.sram_scales.len(),
-            self.dram_bytes_per_cycle.len(),
-            self.dataflow.len(),
+            dedup_axis(&self.pe_dims).len(),
+            dedup_axis(&self.sram_scales).len(),
+            dedup_axis(&self.freq_ghz).len(),
+            dedup_axis(&self.dram_bytes_per_cycle).len(),
+            dedup_axis(&self.dataflow).len(),
         ]
         .iter()
         .filter(|&&n| n > 1)
@@ -90,18 +128,23 @@ impl SweepAxes {
 
     /// Expands the configuration axes (everything except dataflow) into
     /// concrete [`SpadeConfig`]s derived from the high-end base point.
+    /// Each axis is deduped first, so repeated axis values cannot produce
+    /// duplicate configurations.
     #[must_use]
     pub fn expand_configs(&self) -> Vec<SpadeConfig> {
         let base = SpadeConfig::high_end();
         let mut out = Vec::new();
-        for &(rows, cols) in &self.pe_dims {
-            for &scale in &self.sram_scales {
-                for &bpc in &self.dram_bytes_per_cycle {
-                    out.push(
-                        base.with_pe_array(rows, cols)
-                            .with_sram_scale(scale)
-                            .with_dram_bytes_per_cycle(bpc),
-                    );
+        for &(rows, cols) in &dedup_axis(&self.pe_dims) {
+            for &scale in &dedup_axis(&self.sram_scales) {
+                for &freq in &dedup_axis(&self.freq_ghz) {
+                    for &bpc in &dedup_axis(&self.dram_bytes_per_cycle) {
+                        out.push(
+                            base.with_pe_array(rows, cols)
+                                .with_sram_scale(scale)
+                                .with_freq_ghz(freq)
+                                .with_dram_bytes_per_cycle(bpc),
+                        );
+                    }
                 }
             }
         }
@@ -176,6 +219,11 @@ pub struct DseCell {
     pub pe_cols: usize,
     /// Total on-chip SRAM (KiB).
     pub sram_kib: u64,
+    /// Clock frequency (GHz). For the frequency-insensitive SpConv2D-Acc
+    /// behaviour model one cell stands for every swept frequency; this field
+    /// then records the value of the configuration the cell was simulated
+    /// under.
+    pub freq_ghz: f64,
     /// DRAM bandwidth (bytes per cycle). For the bandwidth-insensitive
     /// baselines (SpConv2D-Acc, PointAcc) one cell stands for every swept
     /// bandwidth; this field then records the value of the configuration the
@@ -216,17 +264,25 @@ pub struct DseResult {
 }
 
 /// Marks the Pareto-optimal points among `points` (minimising every
-/// dimension). A point is kept iff no other point is at least as good in all
-/// dimensions and strictly better in at least one — so exact ties are all
-/// kept, and dominated points are dropped.
+/// dimension). A point is kept iff it is finite in every dimension and no
+/// other point is at least as good in all dimensions and strictly better in
+/// at least one — so exact ties are all kept, and dominated points are
+/// dropped.
+///
+/// Non-finite points are excluded outright: NaN comparisons are always
+/// false, so without the finiteness guard a single NaN latency or energy
+/// cell would be "undominated" and stick to the frontier forever (and a
+/// `-inf` garbage cell would knock every real point off it). Such points
+/// neither join the frontier nor dominate anything.
 #[must_use]
 pub fn pareto_frontier(points: &[[f64; 3]]) -> Vec<bool> {
+    let finite = |p: &[f64; 3]| p.iter().all(|v| v.is_finite());
     let dominates = |a: &[f64; 3], b: &[f64; 3]| {
-        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+        finite(a) && a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
     };
     points
         .iter()
-        .map(|p| !points.iter().any(|q| dominates(q, p)))
+        .map(|p| finite(p) && !points.iter().any(|q| dominates(q, p)))
         .collect()
 }
 
@@ -254,6 +310,7 @@ fn mean_cell(
         pe_rows: config.pe_rows,
         pe_cols: config.pe_cols,
         sram_kib: config.total_sram_kib(),
+        freq_ghz: config.freq_ghz,
         dram_bytes_per_cycle: config.dram_bytes_per_cycle,
         dataflow_enabled,
         mean_latency_ms: perfs.iter().map(|p| p.latency_ms).sum::<f64>() / n,
@@ -268,149 +325,279 @@ fn mean_cell(
     }
 }
 
-/// Runs the sweep: every configuration × accelerator × drive frame, then
-/// Pareto extraction per workload.
-#[must_use]
-pub fn run_dse(params: &DseParams) -> DseResult {
-    let configs = params.axes.expand_configs();
-    // A zero-frame drive would make every cell's mean 0.0 and fill the
-    // frontier with fake perfect designs; always simulate at least one frame.
-    let num_frames = params.num_frames.max(1);
-    let mut cells: Vec<DseCell> = Vec::new();
-    let mut wins = 0usize;
-    let mut comparisons = 0usize;
+/// Which accelerator a work-list item simulates.
+enum CellKind {
+    /// SPADE with one dataflow setting.
+    Spade(DataflowOptions),
+    /// The dense-only ablation at the same form factor.
+    Dense,
+    /// SpConv2D-Acc (one cell per PE-array × SRAM form factor — its
+    /// behaviour model is insensitive to both DRAM bandwidth and clock).
+    SpConv2d { label: String },
+    /// PointAcc (one cell per PE-array × SRAM × frequency form factor —
+    /// insensitive to DRAM bandwidth only).
+    PointAcc { label: String },
+}
 
-    for &kind in &params.models {
-        let preset = preset_for(kind);
-        let scenario = DriveScenario::new(
-            preset.clone(),
-            DriveScenarioConfig {
-                num_frames,
-                base_seed: params.base_seed,
-                profile: params.profile,
-            },
-        );
-        // Build each frame's workloads once; they are configuration-
-        // independent, so every design point reuses them.
-        let runs: Vec<ModelRun> = scenario
-            .frames()
-            .iter()
-            .map(|df| {
-                model_run_on_frame(
-                    kind,
-                    &preset,
-                    &df.frame,
-                    params.base_seed.wrapping_add(df.index as u64 * 7919),
-                    params.scale,
-                    PruningConfig::default(),
-                )
-            })
-            .collect();
-        let sim_all = |acc: &dyn Accelerator| -> Vec<NetworkPerf> {
-            runs.iter().map(|r| simulate_on(acc, r)).collect()
-        };
+/// One independent cell of the sweep's indexed work-list.
+struct CellItem {
+    model_idx: usize,
+    config_idx: usize,
+    kind: CellKind,
+}
 
-        let first_cell = cells.len();
-        // SpConv2D-Acc's behaviour model (utilisation + bank conflicts) and
-        // PointAcc's no-overlap cycle model never bound on DRAM bandwidth, so
-        // sweeping that axis for them would emit duplicate cells differing
-        // only in label (and pollute the frontier with fake ties). Emit one
-        // cell per (PE array, SRAM) form factor instead.
-        let mut bw_insensitive_seen: std::collections::HashSet<(usize, usize, u64)> =
-            std::collections::HashSet::new();
-        for config in &configs {
-            let spade_area = AcceleratorReport::for_spade("SPADE", config).total_mm2();
-            let dense_area = AcceleratorReport::for_dense("DenseAcc", config).total_mm2();
-
-            // SPADE: one cell per dataflow setting.
-            let mut spade_cells: Vec<DseCell> = Vec::new();
-            for opts in &params.axes.dataflow {
-                let enabled = opts.weight_grouping || opts.ganged_scatter || opts.adaptive_tiling;
-                let acc = SpadeAccelerator::with_options(*config, *opts);
-                let design = format!("{}/{}", config.label(), if enabled { "+df" } else { "-df" });
-                spade_cells.push(mean_cell(
-                    kind.name(),
-                    acc.name(),
-                    design,
-                    config,
-                    enabled,
-                    spade_area,
-                    &sim_all(&acc),
-                ));
-            }
-
-            // Baselines: one cell per configuration (no dataflow switches).
+/// Simulates one work-list item into its [`DseCell`]. Pure w.r.t. the
+/// shared inputs, so items can run on any worker in any order.
+fn compute_cell(
+    item: &CellItem,
+    models: &[ModelKind],
+    configs: &[SpadeConfig],
+    runs_by_model: &[Vec<ModelRun>],
+) -> DseCell {
+    let kind = models[item.model_idx];
+    let config = &configs[item.config_idx];
+    let runs = &runs_by_model[item.model_idx];
+    let sim_all = |acc: &dyn Accelerator| -> Vec<NetworkPerf> {
+        runs.iter().map(|r| simulate_on(acc, r)).collect()
+    };
+    let spade_area = || AcceleratorReport::for_spade("SPADE", config).total_mm2();
+    match &item.kind {
+        CellKind::Spade(opts) => {
+            let enabled = opts.weight_grouping || opts.ganged_scatter || opts.adaptive_tiling;
+            let acc = SpadeAccelerator::with_options(*config, *opts);
+            let design = format!("{}/{}", config.label(), if enabled { "+df" } else { "-df" });
+            mean_cell(
+                kind.name(),
+                acc.name(),
+                design,
+                config,
+                enabled,
+                spade_area(),
+                &sim_all(&acc),
+            )
+        }
+        CellKind::Dense => {
             let dense = DenseAccelerator::new(*config);
-            let dense_cell = mean_cell(
+            let area = AcceleratorReport::for_dense("DenseAcc", config).total_mm2();
+            mean_cell(
                 kind.name(),
                 dense.name(),
                 config.label(),
                 config,
                 true,
-                dense_area,
+                area,
                 &sim_all(&dense),
-            );
-            // SPADE vs DenseAcc at the same form factor (areas within the
-            // ~4.5% sparsity-support overhead of each other): Fig. 9's claim,
-            // checked in every configuration cell of the sweep. A cell wins
-            // if any of its dataflow variants dominates DenseAcc.
-            if !spade_cells.is_empty() {
-                comparisons += 1;
-                if spade_cells.iter().any(|s| {
-                    s.mean_latency_ms < dense_cell.mean_latency_ms
-                        && s.mean_energy_mj < dense_cell.mean_energy_mj
-                }) {
-                    wins += 1;
-                }
-            }
-            cells.append(&mut spade_cells);
-            cells.push(dense_cell);
+            )
+        }
+        // SpConv2D-Acc and PointAcc carry their own sparsity hardware
+        // (condensing logic, sorter + cache); model their area like SPADE's
+        // sparsity-support overhead on the same datapath.
+        CellKind::SpConv2d { label } => {
+            let spconv = SpConv2dAccelerator::new(config.pe_rows, config.pe_cols, 16);
+            mean_cell(
+                kind.name(),
+                Accelerator::name(&spconv),
+                label.clone(),
+                config,
+                true,
+                spade_area(),
+                &sim_all(&spconv),
+            )
+        }
+        CellKind::PointAcc { label } => {
+            let pacc = PointAccModel::new(*config);
+            mean_cell(
+                kind.name(),
+                pacc.name(),
+                label.clone(),
+                config,
+                true,
+                spade_area(),
+                &sim_all(&pacc),
+            )
+        }
+    }
+}
 
-            let form_factor = (config.pe_rows, config.pe_cols, config.total_sram_kib());
-            if bw_insensitive_seen.insert(form_factor) {
-                // Label without the bandwidth token: these models' results
-                // hold for every swept DRAM bandwidth.
-                let bw_free_label = format!(
-                    "{}x{}/{}KiB",
-                    config.pe_rows,
-                    config.pe_cols,
-                    config.total_sram_kib()
+/// Runs the sweep serially — shorthand for [`run_dse_with_jobs`] with one
+/// worker. Parallel runs produce bit-identical results, so this is also the
+/// reference the pool path is tested against.
+#[must_use]
+pub fn run_dse(params: &DseParams) -> DseResult {
+    run_dse_with_jobs(params, 1)
+}
+
+/// Runs the sweep across `jobs` worker threads: every configuration ×
+/// accelerator × drive frame, then Pareto extraction per workload.
+///
+/// The sweep is decomposed into an indexed work-list of independent cells,
+/// fanned out over a [`WorkerPool`], and reassembled in index order — the
+/// result is identical for any `jobs` value (`0` is clamped to `1`).
+#[must_use]
+pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
+    let pool = WorkerPool::new(jobs);
+    let configs = params.axes.expand_configs();
+    let dataflow = dedup_axis(&params.axes.dataflow);
+    // A zero-frame drive would make every cell's mean 0.0 and fill the
+    // frontier with fake perfect designs; always simulate at least one frame.
+    let num_frames = params.num_frames.max(1);
+
+    // Stage 1 — per-frame workload construction, parallel over frames.
+    // Drive frames depend only on the dataset preset, so models sharing a
+    // dataset share one generated frame vector (built once per sweep); the
+    // per-model `ModelRun`s are configuration-independent, so every design
+    // point downstream reuses them.
+    let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>)> = Vec::new();
+    let runs_by_model: Vec<Vec<ModelRun>> = params
+        .models
+        .iter()
+        .map(|&kind| {
+            let preset = preset_for(kind);
+            let dataset = kind.dataset();
+            if !frames_by_dataset.iter().any(|(d, _)| *d == dataset) {
+                let scenario = DriveScenario::new(
+                    preset.clone(),
+                    DriveScenarioConfig {
+                        num_frames,
+                        base_seed: params.base_seed,
+                        profile: params.profile,
+                    },
                 );
-                let spconv = SpConv2dAccelerator::new(config.pe_rows, config.pe_cols, 16);
-                // SpConv2D-Acc and PointAcc carry their own sparsity hardware
-                // (condensing logic, sorter + cache); model their area like
-                // SPADE's sparsity-support overhead on the same datapath.
-                cells.push(mean_cell(
-                    kind.name(),
-                    Accelerator::name(&spconv),
-                    bw_free_label.clone(),
-                    config,
-                    true,
-                    spade_area,
-                    &sim_all(&spconv),
-                ));
-                let pacc = PointAccModel::new(*config);
-                cells.push(mean_cell(
-                    kind.name(),
-                    pacc.name(),
-                    bw_free_label,
-                    config,
-                    true,
-                    spade_area,
-                    &sim_all(&pacc),
-                ));
+                let frames = pool.run(num_frames, |i| scenario.generate_frame(i));
+                frames_by_dataset.push((dataset, frames));
+            }
+            let frames = &frames_by_dataset
+                .iter()
+                .find(|(d, _)| *d == dataset)
+                .expect("frames generated above")
+                .1;
+            pool.run(num_frames, |i| {
+                model_run_on_frame(
+                    kind,
+                    &preset,
+                    &frames[i].frame,
+                    params.base_seed.wrapping_add(frames[i].index as u64 * 7919),
+                    params.scale,
+                    PruningConfig::default(),
+                )
+            })
+        })
+        .collect();
+
+    // Stage 2 — build the indexed work-list. Cell order is canonical
+    // (model, then configuration, then SPADE/Dense/SpConv2D/PointAcc), so
+    // reassembly by index reproduces the serial layout exactly. The
+    // bandwidth- and frequency-insensitive baselines collapse the axes they
+    // cannot observe: one SpConv2D-Acc cell per (PE array, SRAM) form
+    // factor, one PointAcc cell per (PE array, SRAM, frequency) — sweeping
+    // those axes for them would only emit duplicate cells differing in
+    // label, polluting the frontier with fake ties.
+    let mut items: Vec<CellItem> = Vec::new();
+    // Per (model, config): indices of the SPADE cells and the DenseAcc cell,
+    // for the Fig. 9 dominance tally after the fan-out.
+    let mut duels: Vec<(Vec<usize>, usize)> = Vec::new();
+    // Per model: the range of `items` holding its cells (Pareto extraction
+    // is per workload).
+    let mut workload_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+    for model_idx in 0..params.models.len() {
+        let first_item = items.len();
+        let mut spconv_seen: std::collections::HashSet<(usize, usize, u64)> = Default::default();
+        let mut pointacc_seen: std::collections::HashSet<(usize, usize, u64, u64)> =
+            Default::default();
+        for (config_idx, config) in configs.iter().enumerate() {
+            let spade_idxs: Vec<usize> = dataflow
+                .iter()
+                .map(|&opts| {
+                    items.push(CellItem {
+                        model_idx,
+                        config_idx,
+                        kind: CellKind::Spade(opts),
+                    });
+                    items.len() - 1
+                })
+                .collect();
+            items.push(CellItem {
+                model_idx,
+                config_idx,
+                kind: CellKind::Dense,
+            });
+            // SPADE vs DenseAcc at the same form factor (areas within the
+            // ~4.5% sparsity-support overhead of each other): Fig. 9's
+            // claim, checked in every configuration cell of the sweep. A
+            // cell wins if any of its dataflow variants dominates DenseAcc.
+            if !spade_idxs.is_empty() {
+                duels.push((spade_idxs, items.len() - 1));
+            }
+            let form_factor = (config.pe_rows, config.pe_cols, config.total_sram_kib());
+            if spconv_seen.insert(form_factor) {
+                // Label without the bandwidth and frequency tokens: the
+                // SpConv2D-Acc behaviour model's results hold for every
+                // swept value of both.
+                items.push(CellItem {
+                    model_idx,
+                    config_idx,
+                    kind: CellKind::SpConv2d {
+                        label: format!(
+                            "{}x{}/{}KiB",
+                            config.pe_rows,
+                            config.pe_cols,
+                            config.total_sram_kib()
+                        ),
+                    },
+                });
+            }
+            let freq_form_factor = (
+                config.pe_rows,
+                config.pe_cols,
+                config.total_sram_kib(),
+                config.freq_ghz.to_bits(),
+            );
+            if pointacc_seen.insert(freq_form_factor) {
+                // PointAcc's no-overlap cycle model never bounds on DRAM
+                // bandwidth, but its latency does scale with the clock —
+                // keep the frequency token, drop the bandwidth one.
+                items.push(CellItem {
+                    model_idx,
+                    config_idx,
+                    kind: CellKind::PointAcc {
+                        label: format!(
+                            "{}x{}/{}KiB/{}GHz",
+                            config.pe_rows,
+                            config.pe_cols,
+                            config.total_sram_kib(),
+                            config.freq_ghz
+                        ),
+                    },
+                });
             }
         }
+        workload_ranges.push(first_item..items.len());
+    }
 
-        // Pareto extraction over this workload's cells.
-        let metrics: Vec<[f64; 3]> = cells[first_cell..]
+    // Stage 3 — fan the work-list out across the pool and reassemble in
+    // index order.
+    let mut cells: Vec<DseCell> = pool.run(items.len(), |i| {
+        compute_cell(&items[i], &params.models, &configs, &runs_by_model)
+    });
+
+    // Stage 4 — serial post-processing on the assembled grid: the Fig. 9
+    // dominance tally and per-workload Pareto extraction.
+    let mut wins = 0usize;
+    for (spade_idxs, dense_idx) in &duels {
+        let dense = &cells[*dense_idx];
+        if spade_idxs.iter().any(|&i| {
+            cells[i].mean_latency_ms < dense.mean_latency_ms
+                && cells[i].mean_energy_mj < dense.mean_energy_mj
+        }) {
+            wins += 1;
+        }
+    }
+    for range in workload_ranges {
+        let metrics: Vec<[f64; 3]> = cells[range.clone()]
             .iter()
             .map(|c| [c.mean_latency_ms, c.mean_energy_mj, c.area_mm2])
             .collect();
-        for (cell, keep) in cells[first_cell..]
-            .iter_mut()
-            .zip(pareto_frontier(&metrics))
-        {
+        for (cell, keep) in cells[range].iter_mut().zip(pareto_frontier(&metrics)) {
             cell.on_frontier = keep;
         }
     }
@@ -421,7 +608,7 @@ pub fn run_dse(params: &DseParams) -> DseResult {
         num_frames,
         num_swept_axes: params.axes.num_swept_axes(),
         spade_dense_wins: wins,
-        spade_dense_comparisons: comparisons,
+        spade_dense_comparisons: duels.len(),
     }
 }
 
@@ -442,6 +629,7 @@ impl DseResult {
             "pe_rows",
             "pe_cols",
             "sram_kib",
+            "freq_ghz",
             "dram_bytes_per_cycle",
             "dataflow",
             "mean_latency_ms",
@@ -458,6 +646,7 @@ impl DseResult {
                 c.pe_rows.into(),
                 c.pe_cols.into(),
                 (c.sram_kib as i64).into(),
+                c.freq_ghz.into(),
                 c.dram_bytes_per_cycle.into(),
                 c.dataflow_enabled.into(),
                 c.mean_latency_ms.into(),
@@ -501,12 +690,12 @@ impl DseResult {
         );
         let _ = writeln!(
             s,
-            "workload | accelerator  | design                | latency ms | energy mJ | area mm2"
+            "workload | accelerator  | design                     | latency ms | energy mJ | area mm2"
         );
         for c in self.frontier() {
             let _ = writeln!(
                 s,
-                "{:<8} | {:<12} | {:<21} | {:>10.3} | {:>9.3} | {:>8.2}",
+                "{:<8} | {:<12} | {:<26} | {:>10.3} | {:>9.3} | {:>8.2}",
                 c.workload,
                 c.accelerator,
                 c.design,
@@ -554,11 +743,91 @@ mod tests {
     }
 
     #[test]
+    fn pareto_excludes_non_finite_points() {
+        // Regression: NaN comparisons are all false, so a NaN cell used to be
+        // "undominated" and stuck to the frontier permanently.
+        let keep = pareto_frontier(&[
+            [1.0, 1.0, 1.0],
+            [f64::NAN, 0.5, 0.5],
+            [f64::INFINITY, 0.5, 0.5],
+            [2.0, 2.0, 2.0],
+        ]);
+        assert_eq!(keep, vec![true, false, false, false]);
+        // A -inf garbage point neither joins the frontier nor knocks real
+        // points off it.
+        let keep = pareto_frontier(&[[f64::NEG_INFINITY, 0.0, 0.0], [1.0, 1.0, 1.0]]);
+        assert_eq!(keep, vec![false, true]);
+        // All-non-finite input yields an empty frontier, not a full one.
+        assert_eq!(
+            pareto_frontier(&[[f64::NAN; 3], [f64::INFINITY; 3]]),
+            vec![false, false]
+        );
+    }
+
+    #[test]
     fn axes_expand_to_the_cross_product() {
         let axes = SweepAxes::paper_neighbourhood();
-        assert_eq!(axes.expand_configs().len(), 3 * 2 * 2);
-        assert_eq!(axes.num_swept_axes(), 4);
+        assert_eq!(axes.expand_configs().len(), 3 * 2 * 2 * 2);
+        assert_eq!(axes.num_swept_axes(), 5);
         assert!(SweepAxes::reduced().num_swept_axes() >= 3);
+    }
+
+    #[test]
+    fn expanded_configs_carry_the_swept_frequency() {
+        let axes = SweepAxes::paper_neighbourhood();
+        let configs = axes.expand_configs();
+        for &freq in &axes.freq_ghz {
+            assert!(
+                configs.iter().any(|c| (c.freq_ghz - freq).abs() < 1e-12),
+                "no config at {freq} GHz"
+            );
+        }
+        // The label names the frequency so design points stay distinguishable.
+        assert!(configs[0].label().contains("GHz"));
+    }
+
+    #[test]
+    fn duplicate_axis_values_are_deduped() {
+        // Regression: duplicate axis entries used to emit duplicate cells
+        // that survived Pareto extraction as fake exact ties.
+        let axes = SweepAxes {
+            pe_dims: vec![(16, 16), (16, 16), (64, 64)],
+            sram_scales: vec![1.0, 1.0],
+            freq_ghz: vec![1.0, 1.0, 1.0],
+            dram_bytes_per_cycle: vec![25.6, 25.6],
+            dataflow: vec![
+                DataflowOptions::all_enabled(),
+                DataflowOptions::all_enabled(),
+            ],
+        };
+        assert_eq!(axes.expand_configs().len(), 2);
+        // Every duplicated axis collapses to one distinct value, so only the
+        // PE-dim axis counts as swept.
+        assert_eq!(axes.num_swept_axes(), 1);
+
+        // End-to-end: the duplicated dataflow axis must not mint twin SPADE
+        // cells either.
+        let mut params = DseParams::default_for(WorkloadScale::Reduced);
+        params.axes = axes;
+        params.num_frames = 2;
+        let result = run_dse(&params);
+        let spade_cells = result
+            .cells
+            .iter()
+            .filter(|c| c.accelerator == "SPADE")
+            .count();
+        assert_eq!(spade_cells, 2, "one SPADE cell per deduped config");
+        // No two cells of the grid are exact duplicates.
+        for (i, a) in result.cells.iter().enumerate() {
+            for b in &result.cells[i + 1..] {
+                assert!(
+                    !(a.accelerator == b.accelerator && a.design == b.design),
+                    "duplicate cell {}/{}",
+                    a.accelerator,
+                    a.design
+                );
+            }
+        }
     }
 
     #[test]
@@ -568,6 +837,7 @@ mod tests {
         params.axes = SweepAxes {
             pe_dims: vec![(16, 16), (64, 64)],
             sram_scales: vec![1.0],
+            freq_ghz: vec![1.0],
             dram_bytes_per_cycle: vec![12.8, 25.6],
             dataflow: vec![
                 DataflowOptions::all_disabled(),
@@ -592,6 +862,18 @@ mod tests {
             .collect();
         assert_eq!(spconv_cells.len(), 2);
         assert!(spconv_cells.iter().all(|c| !c.design.contains("Bpc")));
+        // SpConv2D-Acc is clock-insensitive too; PointAcc keeps the
+        // frequency token (its cycle model scales with the clock).
+        assert!(spconv_cells.iter().all(|c| !c.design.contains("GHz")));
+        let pacc_cells: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.accelerator == "PointAcc")
+            .collect();
+        assert_eq!(pacc_cells.len(), 2);
+        assert!(pacc_cells
+            .iter()
+            .all(|c| c.design.contains("GHz") && !c.design.contains("Bpc")));
         let frontier = result.frontier();
         assert!(!frontier.is_empty());
         // Fig. 9 consistency: SPADE beats the dense design of the same form
@@ -609,5 +891,42 @@ mod tests {
                         || c.area_mm2 < f.area_mm2)
             }));
         }
+    }
+
+    #[test]
+    fn frequency_axis_scales_spade_latency() {
+        let mut params = DseParams::default_for(WorkloadScale::Reduced);
+        params.axes = SweepAxes {
+            pe_dims: vec![(32, 32)],
+            sram_scales: vec![1.0],
+            freq_ghz: vec![1.0, 2.0],
+            dram_bytes_per_cycle: vec![25.6],
+            dataflow: vec![DataflowOptions::all_enabled()],
+        };
+        params.num_frames = 2;
+        let result = run_dse(&params);
+        let spade: Vec<_> = result
+            .cells
+            .iter()
+            .filter(|c| c.accelerator == "SPADE")
+            .collect();
+        assert_eq!(spade.len(), 2);
+        let slow = spade.iter().find(|c| c.freq_ghz == 1.0).unwrap();
+        let fast = spade.iter().find(|c| c.freq_ghz == 2.0).unwrap();
+        assert!(
+            fast.mean_latency_ms < slow.mean_latency_ms,
+            "doubling the clock should cut latency: {} vs {}",
+            fast.mean_latency_ms,
+            slow.mean_latency_ms
+        );
+        // ...but not for free: the DVFS voltage premium makes the faster
+        // clock spend more energy per frame, so neither design point
+        // dominates the other and the axis adds real frontier diversity.
+        assert!(
+            fast.mean_energy_mj > slow.mean_energy_mj,
+            "overclocking should cost energy: {} vs {}",
+            fast.mean_energy_mj,
+            slow.mean_energy_mj
+        );
     }
 }

@@ -35,7 +35,10 @@ pub fn run_experiment(id: &str, scale: WorkloadScale) -> Option<String> {
         "fig13" => fig13(scale),
         "fig14_15" => fig14_15(scale),
         "accelerators" => accelerators(scale),
-        "dse" => dse(scale),
+        // Parallel output is bit-identical to serial, so the dispatcher can
+        // safely use every core; the binary's `--jobs` flag overrides this
+        // through its dedicated `dse` path.
+        "dse" => dse(scale, crate::pool::default_jobs()),
         _ => return None,
     };
     Some(out)
@@ -64,13 +67,15 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
 }
 
 /// Design-space exploration: the default configuration sweep (PE dims ×
-/// SRAM × DRAM bandwidth × dataflow) across a multi-frame drive scenario,
-/// printed as the Pareto-frontier summary. Use the `spade-experiments`
-/// binary's `--frames`/`--drive-seed`/`--csv`/`--json` flags to reshape the
-/// drive or export the full grid.
+/// SRAM × frequency × DRAM bandwidth × dataflow) across a multi-frame drive
+/// scenario, fanned out over `jobs` worker threads and printed as the
+/// Pareto-frontier summary. The output is identical for every `jobs` value
+/// (the pool reassembles cells in index order). Use the `spade-experiments`
+/// binary's `--jobs`/`--frames`/`--drive-seed`/`--csv`/`--json` flags to
+/// set the worker count, reshape the drive, or export the full grid.
 #[must_use]
-pub fn dse(scale: WorkloadScale) -> String {
-    crate::dse::run_dse(&crate::dse::DseParams::default_for(scale)).summary()
+pub fn dse(scale: WorkloadScale, jobs: usize) -> String {
+    crate::dse::run_dse_with_jobs(&crate::dse::DseParams::default_for(scale), jobs).summary()
 }
 
 /// The full accelerator comparison set of Fig. 9/14 — SPADE, DenseAcc,

@@ -7,15 +7,19 @@
 //!
 //! Beyond the paper's figures, [`dse`] sweeps the hardware configuration
 //! space against multi-frame drive scenarios and extracts latency/energy/area
-//! Pareto frontiers (the `dse` experiment).
+//! Pareto frontiers (the `dse` experiment). The sweep fans out across the
+//! dependency-free scoped-thread [`pool::WorkerPool`], with results
+//! reassembled in index order so parallel runs are bit-identical to serial.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dse;
 pub mod experiments;
+pub mod pool;
 pub mod workload;
 
-pub use dse::{run_dse, DseParams, DseResult, SweepAxes};
+pub use dse::{run_dse, run_dse_with_jobs, DseParams, DseResult, SweepAxes};
 pub use experiments::run_experiment;
+pub use pool::{default_jobs, WorkerPool};
 pub use workload::{model_run, model_run_on_frame, ModelRun, WorkloadScale};

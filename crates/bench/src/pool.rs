@@ -1,0 +1,208 @@
+//! A dependency-free scoped-thread worker pool for embarrassingly parallel
+//! sweeps.
+//!
+//! Every `(configuration, accelerator, frame)` cell of the DSE grid is an
+//! independent simulation, so the sweep parallelises trivially — but the
+//! build container has no crates-registry access, so `rayon` is out of
+//! reach. [`WorkerPool`] covers the need with `std::thread::scope`: workers
+//! pull indices from a shared atomic counter (so an unlucky static partition
+//! cannot leave one worker with all the slow cells) and results are
+//! reassembled **in index order**, which makes parallel output bit-identical
+//! to a serial run regardless of which worker computed which cell.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width pool of scoped worker threads.
+///
+/// The pool holds no threads between runs — each [`WorkerPool::run`] call
+/// spawns its workers inside a `std::thread::scope`, which guarantees they
+/// are joined before the call returns (even when a task panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    jobs: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `jobs` workers. `0` is clamped to `1` so a
+    /// misparsed `--jobs` flag degrades to a serial run instead of a hang.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if unknown).
+    #[must_use]
+    pub fn with_available_parallelism() -> Self {
+        Self::new(default_jobs())
+    }
+
+    /// Number of workers the pool runs with.
+    #[must_use]
+    pub const fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `task` to every index in `0..num_items` and returns the
+    /// results in index order.
+    ///
+    /// With one worker (or one item) this is a plain serial map — no threads
+    /// are spawned, so `jobs = 1` is the reference the parallel path must
+    /// match. With more, workers race on an atomic cursor for the next
+    /// index; the indexed reassembly keeps the output identical either way.
+    ///
+    /// # Panics
+    ///
+    /// If `task` panics for any index, the panic is propagated to the caller
+    /// after the remaining workers finish — the scope always joins every
+    /// worker, so a poisoned cell can never deadlock the run.
+    pub fn run<T, F>(&self, num_items: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let jobs = self.jobs.min(num_items);
+        if jobs <= 1 {
+            return (0..num_items).map(task).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let task = &task;
+        let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(num_items).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= num_items {
+                                break;
+                            }
+                            produced.push((i, task(i)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            // Join every worker before re-raising any panic: unwinding
+            // mid-loop would leave panicked handles for the scope to join
+            // during the unwind, and a second captured panic there would
+            // escalate to a process abort.
+            let mut first_panic = None;
+            for worker in workers {
+                match worker.join() {
+                    Ok(pairs) => {
+                        for (i, value) in pairs {
+                            slots[i] = Some(value);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index in 0..num_items is claimed exactly once"))
+            .collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// The machine's available parallelism, or 1 if it cannot be queried.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run(100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_cells_still_orders_results() {
+        // 8 workers racing for 3 cells: 5 workers find the cursor exhausted
+        // and return empty-handed; the output order must not care.
+        let pool = WorkerPool::new(8);
+        let out = pool.run(3, |i| format!("cell-{i}"));
+        assert_eq!(out, vec!["cell-0", "cell-1", "cell-2"]);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        assert_eq!(pool.run(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_items_returns_empty() {
+        assert!(WorkerPool::new(4).run(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let f = |i: usize| (i as f64).sqrt() * 7.0;
+        assert_eq!(WorkerPool::new(1).run(64, f), WorkerPool::new(7).run(64, f));
+    }
+
+    #[test]
+    fn panicking_cell_propagates_without_deadlocking_the_join() {
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            WorkerPool::new(4).run(32, |i| {
+                if i == 5 {
+                    panic!("cell 5 is poisoned");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        // The panic surfaced (no deadlock, no swallowed error) and the other
+        // workers drained the remaining cells before the join completed.
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 31);
+    }
+
+    #[test]
+    fn two_panicking_cells_still_propagate_instead_of_aborting() {
+        // Regression: re-raising the first panic before joining the other
+        // workers would hand the scope a second captured panic during
+        // unwind — a panic-inside-panic, which aborts the process.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            WorkerPool::new(4).run(16, |i| {
+                if i == 2 || i == 9 {
+                    panic!("cell {i} is poisoned");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+        assert!(WorkerPool::with_available_parallelism().jobs() >= 1);
+        assert!(WorkerPool::default().jobs() >= 1);
+    }
+}

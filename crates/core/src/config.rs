@@ -101,14 +101,17 @@ impl SpadeConfig {
     }
 
     /// Compact label identifying this design point in sweep output, e.g.
-    /// `"32x32/240KiB/12.8Bpc"`.
+    /// `"32x32/240KiB/1GHz/12.8Bpc"` — form factor, then clock, then
+    /// bandwidth, so labels of axis-insensitive models can drop trailing
+    /// tokens.
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{}x{}/{}KiB/{}Bpc",
+            "{}x{}/{}KiB/{}GHz/{}Bpc",
             self.pe_rows,
             self.pe_cols,
             self.total_sram_kib(),
+            self.freq_ghz,
             self.dram_bytes_per_cycle
         )
     }
@@ -224,7 +227,10 @@ mod tests {
         let label = SpadeConfig::high_end().label();
         assert!(label.contains("64x64"), "{label}");
         assert!(label.contains("480KiB"), "{label}");
+        assert!(label.contains("1GHz"), "{label}");
         assert!(label.contains("25.6Bpc"), "{label}");
+        let overclocked = SpadeConfig::high_end().with_freq_ghz(1.5).label();
+        assert!(overclocked.contains("1.5GHz"), "{overclocked}");
     }
 
     #[test]

@@ -229,7 +229,11 @@ impl ReportTable {
                 .iter()
                 .map(|v| match v {
                     ReportValue::Text(t) => csv_escape(t),
-                    ReportValue::Float(f) => format!("{f}"),
+                    ReportValue::Float(f) if f.is_finite() => format!("{f}"),
+                    // CSV has no portable NaN/Infinity token; an empty cell
+                    // is the tabular equivalent of the JSON writer's `null`,
+                    // so both exports agree on non-finite values.
+                    ReportValue::Float(_) => String::new(),
                     ReportValue::Int(i) => format!("{i}"),
                     ReportValue::Bool(b) => format!("{b}"),
                 })
@@ -353,6 +357,31 @@ mod tests {
         let mut t = ReportTable::new(vec!["x"]);
         t.push_row(vec![f64::NAN.into()]);
         assert!(t.to_json().contains("\"x\": null"));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_missing_in_csv_and_json() {
+        // Regression: CSV used to print `NaN`/`inf` while JSON mapped the
+        // same cells to `null`; both now agree on "missing".
+        let mut t = ReportTable::new(vec!["a", "b", "c", "d"]);
+        t.push_row(vec![
+            f64::NAN.into(),
+            f64::INFINITY.into(),
+            f64::NEG_INFINITY.into(),
+            1.5.into(),
+        ]);
+        let csv = t.to_csv();
+        let data_line = csv.lines().nth(1).unwrap();
+        assert_eq!(data_line, ",,,1.5");
+        // Round trip: a cell is empty in CSV exactly when it is null in
+        // JSON, and finite values survive both writers unchanged.
+        let json = t.to_json();
+        let csv_cells: Vec<&str> = data_line.split(',').collect();
+        for (col, cell) in t.columns().iter().zip(&csv_cells) {
+            let json_null = json.contains(&format!("\"{col}\": null"));
+            assert_eq!(cell.is_empty(), json_null, "column {col} disagrees");
+        }
+        assert!(json.contains("\"d\": 1.5"));
     }
 
     #[test]

@@ -197,14 +197,24 @@ impl DriveScenario {
             .collect()
     }
 
-    /// BEV occupancy of every frame — the quantity whose drift across the
-    /// drive exercises IOPR drift in the backbone.
+    /// BEV occupancy of already-generated frames — the quantity whose drift
+    /// across the drive exercises IOPR drift in the backbone.
+    ///
+    /// Takes `&[DriveFrame]` so callers that already hold the drive's frames
+    /// (every sweep does) read occupancy off them instead of regenerating
+    /// the whole drive.
+    #[must_use]
+    pub fn occupancy_of(frames: &[DriveFrame]) -> Vec<f64> {
+        frames.iter().map(|f| f.frame.pillars.occupancy()).collect()
+    }
+
+    /// BEV occupancy of every frame of the drive. Convenience wrapper that
+    /// generates the frames and discards them; when the frames are needed
+    /// too, call [`DriveScenario::frames`] once and use
+    /// [`DriveScenario::occupancy_of`] so each frame is built only once.
     #[must_use]
     pub fn occupancy_series(&self) -> Vec<f64> {
-        self.frames()
-            .iter()
-            .map(|f| f.frame.pillars.occupancy())
-            .collect()
+        Self::occupancy_of(&self.frames())
     }
 }
 
@@ -247,6 +257,19 @@ mod tests {
         assert!(occ.iter().all(|&o| o > 0.0));
         // The dense end of the drive occupies more of the BEV grid.
         assert!(occ[4] > occ[0], "occupancy should rise: {occ:?}");
+    }
+
+    #[test]
+    fn occupancy_of_reuses_generated_frames() {
+        let scenario = DriveScenario::urban_approach(DatasetPreset::kitti_like(), 4, 17);
+        let frames = scenario.frames();
+        // Reading occupancy off already-generated frames matches the
+        // regenerate-everything convenience path exactly.
+        assert_eq!(
+            DriveScenario::occupancy_of(&frames),
+            scenario.occupancy_series()
+        );
+        assert!(DriveScenario::occupancy_of(&[]).is_empty());
     }
 
     #[test]

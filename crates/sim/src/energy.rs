@@ -52,7 +52,25 @@ impl EnergyModel {
         self.leakage_mw
     }
 
+    /// Supply-voltage factor for a clock frequency, relative to the 1 GHz
+    /// nominal point: the classic linear V/f approximation
+    /// `V/V₀ = 0.7 + 0.3·f`, exactly 1 at 1 GHz.
+    ///
+    /// Running faster needs a higher supply voltage, so a frequency sweep is
+    /// a genuine latency-vs-energy trade-off rather than a free win: dynamic
+    /// energy per operation scales with `V²` and leakage power with `V`.
+    #[must_use]
+    pub fn voltage_factor(freq_ghz: f64) -> f64 {
+        0.7 + 0.3 * freq_ghz
+    }
+
     /// Builds an energy breakdown from raw activity counts.
+    ///
+    /// On-chip dynamic energy (MACs, SRAM) scales with the square of
+    /// [`EnergyModel::voltage_factor`] and leakage power linearly with it;
+    /// off-chip DRAM energy is per byte on its own supply rail and does not
+    /// scale with the core clock. At the paper's 1 GHz design points every
+    /// factor is exactly 1, so the two fixed configurations are untouched.
     #[must_use]
     pub fn breakdown(
         &self,
@@ -62,11 +80,13 @@ impl EnergyModel {
         cycles: u64,
         freq_ghz: f64,
     ) -> EnergyBreakdown {
-        let compute_pj = macs as f64 * self.mac_pj;
-        let sram_pj = sram_bytes as f64 * self.sram_per_byte_pj;
+        let v = Self::voltage_factor(freq_ghz);
+        let v2 = v * v;
+        let compute_pj = macs as f64 * self.mac_pj * v2;
+        let sram_pj = sram_bytes as f64 * self.sram_per_byte_pj * v2;
         let dram_pj = dram_bytes as f64 * self.dram_per_byte_pj;
         let time_s = cycles as f64 / (freq_ghz * 1e9);
-        let leakage_pj = self.leakage_mw * 1e-3 * time_s * 1e12;
+        let leakage_pj = self.leakage_mw * 1e-3 * v * time_s * 1e12;
         EnergyBreakdown {
             compute_pj,
             sram_pj,
@@ -141,6 +161,23 @@ mod tests {
         let dense = e.breakdown(10_000_000, 0, 0, 0, 1.0);
         let sparse = e.breakdown(2_000_000, 0, 0, 0, 1.0);
         assert!((dense.compute_pj / sparse.compute_pj - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overclocking_trades_energy_for_latency() {
+        let e = EnergyModel::asic_32nm();
+        // Nominal point is exactly neutral — the paper's 1 GHz designs are
+        // untouched by the DVFS model.
+        assert!((EnergyModel::voltage_factor(1.0) - 1.0).abs() < 1e-12);
+        let base = e.breakdown(1_000_000, 10_000, 1_000, 1_000_000, 1.0);
+        let fast = e.breakdown(1_000_000, 10_000, 1_000, 1_000_000, 1.5);
+        // Higher clock → higher voltage → more dynamic energy per op...
+        assert!(fast.compute_pj > base.compute_pj);
+        assert!(fast.sram_pj > base.sram_pj);
+        // ...but DRAM is on its own rail and leakage integrates over a
+        // shorter runtime.
+        assert!((fast.dram_pj - base.dram_pj).abs() < 1e-12);
+        assert!(fast.leakage_pj < base.leakage_pj);
     }
 
     #[test]

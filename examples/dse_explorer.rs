@@ -1,21 +1,24 @@
 //! Design-space exploration walkthrough: sweep the hardware grid against a
 //! suburb-to-downtown drive scenario, print how occupancy (and therefore the
 //! sparse win) drifts across the drive, and extract the latency/energy/area
-//! Pareto frontier.
+//! Pareto frontier. The sweep fans out across every available core; the
+//! result is bit-identical to a serial run.
 //!
 //! ```text
 //! cargo run --release --example dse_explorer
 //! ```
 //!
-//! For the full default sweep with CSV/JSON export, use the binary instead:
-//! `cargo run --release -p spade-bench --bin spade-experiments -- dse --csv pareto.csv`.
+//! For the full default sweep with an explicit worker count and CSV/JSON
+//! export, use the binary instead: `cargo run --release -p spade-bench --bin
+//! spade-experiments -- dse --jobs 4 --csv pareto.csv`.
 
 use spade::pointcloud::{DatasetPreset, DensityProfile, DriveScenario, DriveScenarioConfig};
-use spade_bench::dse::{run_dse, DseParams, SweepAxes};
-use spade_bench::WorkloadScale;
+use spade_bench::dse::{run_dse_with_jobs, DseParams, SweepAxes};
+use spade_bench::{default_jobs, WorkloadScale};
 
 fn main() {
     // 1. The workload axis: a drive whose density doubles by the end.
+    //    Generate the frames once and read everything off that one vector.
     let scenario = DriveScenario::new(
         DatasetPreset::kitti_like(),
         DriveScenarioConfig {
@@ -27,15 +30,17 @@ fn main() {
             },
         },
     );
+    let frames = scenario.frames();
+    let occupancy = DriveScenario::occupancy_of(&frames);
     println!("Drive scenario (KITTI-like, 6 frames, density 0.5x -> 2.0x):");
-    for f in scenario.frames() {
+    for (f, occ) in frames.iter().zip(&occupancy) {
         println!(
             "  frame {} | density {:.2}x | {:>6} points | {:>5} active pillars | occupancy {:.2}%",
             f.index,
             f.density_factor,
             f.frame.num_points,
             f.frame.pillars.num_active(),
-            f.frame.pillars.occupancy() * 100.0,
+            occ * 100.0,
         );
     }
 
@@ -43,10 +48,12 @@ fn main() {
     //    this example snappy; the `dse` experiment runs the paper-scale grid.
     let mut params = DseParams::default_for(WorkloadScale::Reduced);
     params.axes = SweepAxes::paper_neighbourhood();
+    let jobs = default_jobs();
     println!(
-        "\nSweeping {} configurations...",
-        params.axes.expand_configs().len()
+        "\nSweeping {} configurations across {} worker threads...",
+        params.axes.expand_configs().len(),
+        jobs,
     );
-    let result = run_dse(&params);
+    let result = run_dse_with_jobs(&params, jobs);
     println!("\n{}", result.summary());
 }

@@ -5,8 +5,9 @@
 #   1. cargo fmt --check        — formatting
 #   2. cargo clippy -D warnings — lints, all targets
 #   3. cargo test -q            — unit + integration + property + doc tests
-#   4. cargo bench --no-run     — all 13 figure benches must compile
-#   5. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
+#   4. dse smoke with --jobs 4  — the parallel sweep path, reduced grid
+#   5. cargo bench --no-run     — all 13 figure benches must compile
+#   6. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,6 +20,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> dse smoke (reduced grid, 4 worker threads)"
+cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4
 
 echo "==> cargo bench -p spade-bench --no-run"
 cargo bench -p spade-bench --no-run

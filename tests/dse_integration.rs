@@ -1,11 +1,11 @@
 //! Integration tests of the design-space exploration subsystem: the drive
-//! scenario feeding the sweep, determinism of the whole pipeline, and the
-//! paper-consistency property (SPADE dominating DenseAcc at equal form
-//! factor, Fig. 9).
+//! scenario feeding the sweep, determinism of the whole pipeline (serial and
+//! parallel), and the paper-consistency property (SPADE dominating DenseAcc
+//! at equal form factor, Fig. 9).
 
 use spade::core::DataflowOptions;
 use spade::pointcloud::{DatasetPreset, DensityProfile, DriveScenario, DriveScenarioConfig};
-use spade_bench::dse::{run_dse, DseParams, SweepAxes};
+use spade_bench::dse::{run_dse, run_dse_with_jobs, DseParams, SweepAxes};
 use spade_bench::WorkloadScale;
 
 fn small_params() -> DseParams {
@@ -13,6 +13,7 @@ fn small_params() -> DseParams {
     params.axes = SweepAxes {
         pe_dims: vec![(16, 16), (64, 64)],
         sram_scales: vec![0.5, 1.0],
+        freq_ghz: vec![1.0],
         dram_bytes_per_cycle: vec![25.6],
         dataflow: vec![DataflowOptions::all_enabled()],
     };
@@ -28,6 +29,24 @@ fn dse_sweep_is_deterministic_for_a_seed() {
     assert_eq!(a.cells.len(), b.cells.len());
     assert_eq!(a.to_csv(), b.to_csv());
     assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    // The worker pool reassembles cells in index order, so the full
+    // `DseResult` — every cell, the frontier marks, the dominance tally —
+    // must be *equal*, not just equivalent, for any worker count.
+    let params = small_params();
+    let serial = run_dse_with_jobs(&params, 1);
+    let parallel = run_dse_with_jobs(&params, 4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+    // More workers than cells degrades gracefully to the same result too.
+    let overprovisioned = run_dse_with_jobs(&params, 64);
+    assert_eq!(serial, overprovisioned);
+    // run_dse is the jobs=1 shorthand.
+    assert_eq!(serial, run_dse(&params));
 }
 
 #[test]
