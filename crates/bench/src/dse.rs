@@ -446,7 +446,10 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
     // Drive frames depend only on the dataset preset, so models sharing a
     // dataset share one generated frame vector (built once per sweep); the
     // per-model `ModelRun`s are configuration-independent, so every design
-    // point downstream reuses them.
+    // point downstream reuses them. Each worker thread reuses one
+    // `ExecutionArena` across its frames (thread-local in
+    // `workload::model_run_on_frame`), so pattern execution allocates no
+    // per-layer scratch anywhere in the sweep.
     let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>)> = Vec::new();
     let runs_by_model: Vec<Vec<ModelRun>> = params
         .models

@@ -1,10 +1,11 @@
 //! Shared workload construction for the experiments.
 
 use spade_core::{Accelerator, NetworkPerf, SpadeAccelerator, SpadeConfig};
-use spade_nn::graph::{execute_pattern, ExecutionContext, LayerWorkload, NetworkTrace};
-use spade_nn::{Model, ModelKind, PruningConfig};
+use spade_nn::graph::{execute_pattern_with_arena, ExecutionContext, LayerWorkload, NetworkTrace};
+use spade_nn::{ExecutionArena, Model, ModelKind, PruningConfig};
 use spade_pointcloud::dataset::{DatasetKind, DatasetPreset, Frame};
 use spade_tensor::GridShape;
+use std::cell::RefCell;
 
 /// How large a workload to build: `Full` uses the paper-scale BEV grids
 /// (432×496 / 512×512); `Reduced` crops the frame to a quarter-size grid so
@@ -109,13 +110,23 @@ pub fn model_run_on_frame(
         pillar_config: Some(&pillar_cfg),
         seed,
     };
-    let (trace, workloads) = execute_pattern(model.spec(), &coords, grid, encoder_macs, &ctx);
+    let (trace, workloads) = ARENA.with_borrow_mut(|arena| {
+        execute_pattern_with_arena(model.spec(), &coords, grid, encoder_macs, &ctx, arena)
+    });
     ModelRun {
         kind,
         trace,
         workloads,
         encoder_macs,
     }
+}
+
+thread_local! {
+    /// Per-thread execution scratch: consecutive model runs on the same
+    /// thread — bench iterations, experiment loops, and each DSE worker's
+    /// share of a sweep — reuse one arena's buffers. Results are unaffected
+    /// (the arena is pure scratch), so parallel sweeps stay bit-identical.
+    static ARENA: RefCell<ExecutionArena> = RefCell::new(ExecutionArena::new());
 }
 
 /// Simulates a model run on any accelerator model through the common

@@ -173,9 +173,9 @@ mod tests {
             spec,
             stage: 1,
             input_grid: grid,
-            input_coords: coords,
+            input_coords: coords.into(),
             output_grid: out_grid,
-            output_coords: out_coords,
+            output_coords: out_coords.into(),
             rules,
         }
     }

@@ -105,9 +105,9 @@ mod tests {
             spec: LayerSpec::new("t", ConvKind::SpConv, channels, channels),
             stage: 1,
             input_grid: GridShape::new(256, 64),
-            input_coords: coords.clone(),
+            input_coords: coords.clone().into(),
             output_grid: GridShape::new(256, 64),
-            output_coords: coords,
+            output_coords: coords.into(),
             rules: (active * 9) as u64,
         }
     }
@@ -145,10 +145,10 @@ mod tests {
         let atm = ActiveTileManager::new(64, 128);
         let mut w = workload(1_000, 64);
         // Double the outputs (dilation): the per-tile output span grows.
-        let extra: Vec<PillarCoord> = (0..1_000)
-            .map(|i| PillarCoord::new(100 + (i / 64) as u32, (i % 64) as u32))
-            .collect();
-        w.output_coords.extend(extra);
+        let mut dilated: Vec<PillarCoord> = w.output_coords.to_vec();
+        dilated
+            .extend((0..1_000).map(|i| PillarCoord::new(100 + (i / 64) as u32, (i % 64) as u32)));
+        w.output_coords = dilated.into();
         let plan_dilated = atm.plan(&w);
         let plan_plain = atm.plan(&workload(1_000, 64));
         assert!(plan_dilated.output_span >= plan_plain.output_span);

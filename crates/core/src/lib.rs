@@ -25,9 +25,9 @@
 //!     spec: LayerSpec::new("B1C1", ConvKind::SpConv, 16, 16),
 //!     stage: 1,
 //!     input_grid: GridShape::new(64, 64),
-//!     input_coords: vec![PillarCoord::new(3, 3), PillarCoord::new(10, 12)],
+//!     input_coords: vec![PillarCoord::new(3, 3), PillarCoord::new(10, 12)].into(),
 //!     output_grid: GridShape::new(64, 64),
-//!     output_coords: vec![PillarCoord::new(3, 3), PillarCoord::new(10, 12)],
+//!     output_coords: vec![PillarCoord::new(3, 3), PillarCoord::new(10, 12)].into(),
 //!     rules: 18,
 //! };
 //! let acc = SpadeAccelerator::new(SpadeConfig::high_end());

@@ -33,6 +33,12 @@ impl RuleGenerationUnit {
     }
 
     /// Generates the rule book for a layer and reports the pipeline cycles.
+    ///
+    /// `input_coords` is the CPR-ordered active set of a [`LayerWorkload`]
+    /// (unsorted input is tolerated and normalised first, but the fast path —
+    /// like the hardware — expects CPR order).
+    ///
+    /// [`LayerWorkload`]: spade_nn::graph::LayerWorkload
     #[must_use]
     pub fn generate(
         &self,
@@ -41,6 +47,8 @@ impl RuleGenerationUnit {
         kind: ConvKind,
         kernel: KernelShape,
     ) -> RuleGenResult {
+        // `from_coords` takes the sort-free `from_sorted_coords` path when
+        // the input is already CPR-ordered.
         let tensor = CprTensor::from_coords(input_grid, 1, input_coords);
         let rules = spade_nn::rulegen::generate_rules(&tensor, kind, kernel);
         let cost = RuleGenMethod::StreamingRgu.cost(

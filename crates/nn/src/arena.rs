@@ -1,0 +1,226 @@
+//! Reusable scratch buffers for pattern-level network execution.
+//!
+//! The layer loop of [`crate::graph::execute_pattern`] used to pay per-layer
+//! allocations for everything it touched: a `CprTensor` built from the input
+//! coordinates, a `BTreeSet` for output dilation, and a third walk of the
+//! inputs to count rules. [`ExecutionArena`] holds the scratch state those
+//! passes need — a row index over the input slice, the merge streams of the
+//! fused sweep, output-coordinate buffers, and a cache of dense all-cells
+//! sets — so consecutive layers (and consecutive `execute_pattern` calls that
+//! share one arena) reuse the same capacity instead of reallocating.
+
+use crate::conv::ConvKind;
+use crate::kernel::KernelShape;
+use crate::rulegen::output_grid;
+use crate::rulegen::streaming::{fused_sweep, CoordSink, NullSink, SliceRows, StreamState};
+use spade_tensor::{GridShape, PillarCoord};
+use std::sync::Arc;
+
+/// Scratch buffers threaded through pattern-level execution. Create one and
+/// reuse it across layers and frames; every buffer retains its capacity.
+#[derive(Debug, Default)]
+pub struct ExecutionArena {
+    /// Row pointer array over the current input slice (`height + 1` entries).
+    row_ptr: Vec<usize>,
+    /// Column index of each input pillar, grouped by row.
+    cols: Vec<u32>,
+    /// Merge-stream state of the fused sweep (`kh·kw` entries at most).
+    streams: Vec<StreamState>,
+    /// Output coordinates of the current fused sweep.
+    out_coords: Vec<PillarCoord>,
+    /// General coordinate scratch (union merging, input normalisation).
+    pub(crate) scratch: Vec<PillarCoord>,
+    /// Cached all-cells coordinate sets, one per dense grid seen.
+    dense_cells: Vec<(GridShape, Arc<[PillarCoord]>)>,
+}
+
+impl ExecutionArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the row index (`row_ptr` + `cols`) over a CPR-sorted slice.
+    fn index_rows(&mut self, coords: &[PillarCoord], grid: GridShape) {
+        debug_assert!(
+            coords.windows(2).all(|w| w[0] < w[1]),
+            "arena sweeps require strictly CPR-sorted coordinates"
+        );
+        self.row_ptr.clear();
+        self.row_ptr.resize(grid.height as usize + 1, 0);
+        for c in coords {
+            self.row_ptr[c.row as usize + 1] += 1;
+        }
+        for i in 1..self.row_ptr.len() {
+            self.row_ptr[i] += self.row_ptr[i - 1];
+        }
+        self.cols.clear();
+        self.cols.extend(coords.iter().map(|c| c.col));
+    }
+
+    /// One fused `O(P·K)` sweep for a dilating layer: computes the active
+    /// output coordinates (CPR order, in an internal buffer) *and* the rule
+    /// count together. Valid for every kind except [`ConvKind::Dense`] and
+    /// [`ConvKind::SpConvS`], whose output sets need no sweep.
+    ///
+    /// Returns the output slice (borrowed from the arena) and the rule count.
+    pub fn dilate_and_count(
+        &mut self,
+        coords: &[PillarCoord],
+        in_grid: GridShape,
+        kind: ConvKind,
+        kernel: KernelShape,
+    ) -> (&[PillarCoord], u64) {
+        let out_grid = output_grid(in_grid, kind);
+        self.index_rows(coords, in_grid);
+        let Self {
+            row_ptr,
+            cols,
+            streams,
+            out_coords,
+            ..
+        } = self;
+        out_coords.clear();
+        let rows = SliceRows { row_ptr, cols };
+        let (_, rules) = fused_sweep(
+            &rows,
+            in_grid,
+            out_grid,
+            kind,
+            kernel,
+            streams,
+            &mut CoordSink(out_coords),
+        );
+        (out_coords, rules)
+    }
+
+    /// Rule count of a submanifold ([`ConvKind::SpConvS`]) layer in one fused
+    /// sweep (the output set is the input set, so nothing is materialised).
+    pub fn count_submanifold_rules(
+        &mut self,
+        coords: &[PillarCoord],
+        in_grid: GridShape,
+        kernel: KernelShape,
+    ) -> u64 {
+        self.index_rows(coords, in_grid);
+        let Self {
+            row_ptr,
+            cols,
+            streams,
+            ..
+        } = self;
+        let rows = SliceRows { row_ptr, cols };
+        let (_, rules) = fused_sweep(
+            &rows,
+            in_grid,
+            in_grid,
+            ConvKind::SpConvS,
+            kernel,
+            streams,
+            &mut NullSink,
+        );
+        rules
+    }
+
+    /// The all-cells coordinate set of a grid, cached per grid shape so the
+    /// dense layers of a network share one allocation.
+    pub fn dense_cells(&mut self, grid: GridShape) -> Arc<[PillarCoord]> {
+        if let Some((_, cells)) = self.dense_cells.iter().find(|(g, _)| *g == grid) {
+            return Arc::clone(cells);
+        }
+        let cells: Arc<[PillarCoord]> = Arc::from(grid.all_cells());
+        self.dense_cells.push((grid, Arc::clone(&cells)));
+        cells
+    }
+
+    /// Union of several CPR-sorted coordinate sets, cropped to `grid` —
+    /// the concatenation semantics of [`crate::graph::LayerInput::Union`].
+    pub(crate) fn union_coords<'a>(
+        &mut self,
+        sets: impl Iterator<Item = &'a [PillarCoord]>,
+        grid: GridShape,
+    ) -> Arc<[PillarCoord]> {
+        self.scratch.clear();
+        for s in sets {
+            self.scratch
+                .extend(s.iter().copied().filter(|c| c.in_bounds(grid)));
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        Arc::from(&self.scratch[..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rulegen;
+    use spade_tensor::CprTensor;
+
+    fn coords() -> Vec<PillarCoord> {
+        vec![
+            PillarCoord::new(1, 1),
+            PillarCoord::new(1, 2),
+            PillarCoord::new(4, 6),
+            PillarCoord::new(7, 0),
+        ]
+    }
+
+    #[test]
+    fn dilate_and_count_matches_reference_passes() {
+        let grid = GridShape::new(8, 8);
+        let cs = coords();
+        let t = CprTensor::from_sorted_coords(grid, 1, &cs);
+        let mut arena = ExecutionArena::new();
+        for kind in [ConvKind::SpConv, ConvKind::SpConvP, ConvKind::SpStConv] {
+            let (out, rules) = arena.dilate_and_count(&cs, grid, kind, KernelShape::k3x3());
+            assert_eq!(
+                out,
+                &rulegen::output_coords(&t, kind, KernelShape::k3x3())[..],
+                "outputs for {kind}"
+            );
+            let book = rulegen::generate_rules(&t, kind, KernelShape::k3x3());
+            assert_eq!(rules, book.num_rules() as u64, "rules for {kind}");
+        }
+        let (out, rules) =
+            arena.dilate_and_count(&cs, grid, ConvKind::SpDeconv, KernelShape::k2x2());
+        assert_eq!(
+            out,
+            &rulegen::output_coords(&t, ConvKind::SpDeconv, KernelShape::k2x2())[..]
+        );
+        let book = rulegen::generate_rules(&t, ConvKind::SpDeconv, KernelShape::k2x2());
+        assert_eq!(rules, book.num_rules() as u64);
+    }
+
+    #[test]
+    fn submanifold_count_matches_rulebook() {
+        let grid = GridShape::new(8, 8);
+        let cs = coords();
+        let t = CprTensor::from_sorted_coords(grid, 1, &cs);
+        let mut arena = ExecutionArena::new();
+        let rules = arena.count_submanifold_rules(&cs, grid, KernelShape::k3x3());
+        let book = rulegen::generate_rules(&t, ConvKind::SpConvS, KernelShape::k3x3());
+        assert_eq!(rules, book.num_rules() as u64);
+    }
+
+    #[test]
+    fn dense_cells_are_cached_and_row_major() {
+        let mut arena = ExecutionArena::new();
+        let a = arena.dense_cells(GridShape::new(3, 2));
+        let b = arena.dense_cells(GridShape::new(3, 2));
+        assert!(Arc::ptr_eq(&a, &b), "same grid must share one allocation");
+        assert_eq!(a.len(), 6);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn union_crops_and_dedups() {
+        let mut arena = ExecutionArena::new();
+        let a = [PillarCoord::new(0, 0), PillarCoord::new(2, 2)];
+        let b = [PillarCoord::new(0, 0), PillarCoord::new(5, 5)];
+        let grid = GridShape::new(3, 3);
+        let u = arena.union_coords([&a[..], &b[..]].into_iter(), grid);
+        assert_eq!(&u[..], &[PillarCoord::new(0, 0), PillarCoord::new(2, 2)]);
+    }
+}

@@ -7,15 +7,24 @@
 //! dynamic pruning for SpConv-P layers), producing a [`NetworkTrace`] with
 //! per-layer statistics and a list of [`LayerWorkload`]s that the accelerator
 //! models consume.
+//!
+//! This is the repository's hottest path (every bench and DSE cell funnels
+//! through it), so each layer runs the *fused* streaming sweep of
+//! [`crate::rulegen::streaming`] — output dilation and rule counting in one
+//! `O(P·K)` pass over [`ExecutionArena`] scratch — and coordinate sets are
+//! shared (`Arc`) between a layer's output, the next layer's input, and the
+//! emitted workloads rather than cloned.
 
+use crate::arena::ExecutionArena;
 use crate::conv::{ConvKind, LayerSpec};
 use crate::pruning::{ImportanceModel, PruningConfig, VectorPruner};
 use serde::{Deserialize, Serialize};
 use spade_pointcloud::pillarize::PillarizationConfig;
 use spade_pointcloud::Scene;
 use spade_tensor::stats::iopr;
-use spade_tensor::{CprTensor, GridShape, PillarCoord};
+use spade_tensor::{GridShape, PillarCoord};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Where a layer's input activations come from.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -147,6 +156,10 @@ impl NetworkTrace {
 
 /// One layer's workload handed to the accelerator models: the concrete active
 /// input and output coordinate sets plus the layer spec.
+///
+/// Coordinate sets are shared slices (`Arc<[PillarCoord]>`): a layer's output
+/// set *is* the next layer's input set, so chaining layers and fanning
+/// workloads across accelerator models never copies coordinates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerWorkload {
     /// The layer specification.
@@ -156,11 +169,11 @@ pub struct LayerWorkload {
     /// Input grid shape.
     pub input_grid: GridShape,
     /// Active input coordinates (CPR order).
-    pub input_coords: Vec<PillarCoord>,
+    pub input_coords: Arc<[PillarCoord]>,
     /// Output grid shape.
     pub output_grid: GridShape,
     /// Active output coordinates (CPR order, after pruning).
-    pub output_coords: Vec<PillarCoord>,
+    pub output_coords: Arc<[PillarCoord]>,
     /// Number of input-output rules.
     pub rules: u64,
 }
@@ -182,7 +195,9 @@ pub struct ExecutionContext<'a> {
 /// Executes a network at pattern level.
 ///
 /// `initial_coords` are the active pillars produced by the pillar encoder on
-/// the base grid `grid`.
+/// the base grid `grid`. Allocates a fresh [`ExecutionArena`]; loops that
+/// execute many networks or frames should hold one arena and call
+/// [`execute_pattern_with_arena`] so scratch capacity carries over.
 #[must_use]
 pub fn execute_pattern(
     spec: &NetworkSpec,
@@ -191,8 +206,47 @@ pub fn execute_pattern(
     encoder_macs: u64,
     ctx: &ExecutionContext<'_>,
 ) -> (NetworkTrace, Vec<LayerWorkload>) {
+    execute_pattern_with_arena(
+        spec,
+        initial_coords,
+        grid,
+        encoder_macs,
+        ctx,
+        &mut ExecutionArena::new(),
+    )
+}
+
+/// [`execute_pattern`] with caller-owned scratch: every layer's dilation,
+/// rule count, and output set come from one fused streaming sweep over the
+/// arena's reusable buffers, so the layer loop performs no per-layer
+/// `BTreeSet`/`CprTensor` construction and no repeated input walks.
+#[must_use]
+pub fn execute_pattern_with_arena(
+    spec: &NetworkSpec,
+    initial_coords: &[PillarCoord],
+    grid: GridShape,
+    encoder_macs: u64,
+    ctx: &ExecutionContext<'_>,
+    arena: &mut ExecutionArena,
+) -> (NetworkTrace, Vec<LayerWorkload>) {
     let pruner = VectorPruner::new(ctx.pruning);
-    let mut outputs: Vec<(GridShape, Vec<PillarCoord>)> = Vec::with_capacity(spec.layers.len());
+    // Layers always produce CPR-ordered in-bounds sets, but the encoder
+    // output arrives from the caller: normalise it once up front (the common
+    // case — already sorted, unique, in bounds — is a zero-copy check).
+    let initial: Arc<[PillarCoord]> = if initial_coords.windows(2).all(|w| w[0] < w[1])
+        && initial_coords.iter().all(|c| c.in_bounds(grid))
+    {
+        Arc::from(initial_coords)
+    } else {
+        arena.scratch.clear();
+        arena
+            .scratch
+            .extend(initial_coords.iter().copied().filter(|c| c.in_bounds(grid)));
+        arena.scratch.sort_unstable();
+        arena.scratch.dedup();
+        Arc::from(&arena.scratch[..])
+    };
+    let mut outputs: Vec<(GridShape, Arc<[PillarCoord]>)> = Vec::with_capacity(spec.layers.len());
     let mut traces = Vec::with_capacity(spec.layers.len());
     let mut workloads = Vec::with_capacity(spec.layers.len());
     let mut importance_cache: HashMap<u32, ImportanceModel> = HashMap::new();
@@ -208,21 +262,18 @@ pub fn execute_pattern(
         )),
         _ => None,
     };
-    let initial_foreground = base_importance.as_ref().map(|m| {
-        initial_coords
-            .iter()
-            .filter(|c| m.is_foreground(**c))
-            .count()
-    });
+    let initial_foreground = base_importance
+        .as_ref()
+        .map(|m| initial.iter().filter(|c| m.is_foreground(**c)).count());
     let mut pruned_foreground_ratio: Vec<f64> = Vec::new();
 
     for layer in &spec.layers {
-        let (in_grid, mut in_coords): (GridShape, Vec<PillarCoord>) = match &layer.input {
+        let (in_grid, mut in_coords): (GridShape, Arc<[PillarCoord]>) = match &layer.input {
             LayerInput::Previous => outputs
                 .last()
-                .cloned()
-                .unwrap_or_else(|| (grid, initial_coords.to_vec())),
-            LayerInput::Layer(i) => outputs[*i].clone(),
+                .map(|(g, c)| (*g, Arc::clone(c)))
+                .unwrap_or_else(|| (grid, Arc::clone(&initial))),
+            LayerInput::Layer(i) => (outputs[*i].0, Arc::clone(&outputs[*i].1)),
             LayerInput::Union(indices) => {
                 // Concatenated branches may differ by a row/column when odd
                 // grid sizes round up through stride-2 / deconv chains; crop
@@ -232,27 +283,35 @@ pub fn execute_pattern(
                     .map(|&i| outputs[i].0)
                     .min_by_key(|g| (g.height, g.width))
                     .expect("union must reference at least one layer");
-                let mut set = std::collections::BTreeSet::new();
-                for &i in indices {
-                    set.extend(outputs[i].1.iter().copied().filter(|c| c.in_bounds(g)));
-                }
-                (g, set.into_iter().collect())
+                let merged = arena.union_coords(indices.iter().map(|&i| &*outputs[i].1), g);
+                (g, merged)
             }
         };
         if layer.densify_input {
-            in_coords = all_cells(in_grid);
+            in_coords = arena.dense_cells(in_grid);
         }
         let sp = &layer.spec;
         let out_grid = sp.output_grid(in_grid);
-        let input_tensor = CprTensor::from_coords(in_grid, 1, &in_coords);
-        let dilated: Vec<PillarCoord> = if sp.kind == ConvKind::Dense {
-            all_cells(out_grid)
-        } else {
-            crate::rulegen::output_coords(&input_tensor, sp.kind, sp.kernel)
+        // One fused sweep per layer produces the dilated output set and the
+        // rule count together (dense layers need neither sweep: their output
+        // set is the whole grid and their rule count is closed-form;
+        // submanifold layers keep their input set as the output set).
+        let (dilated, rules): (Arc<[PillarCoord]>, u64) = match sp.kind {
+            ConvKind::Dense => (
+                arena.dense_cells(out_grid),
+                out_grid.num_cells() as u64 * sp.kernel.num_taps() as u64,
+            ),
+            ConvKind::SpConvS => {
+                let rules = arena.count_submanifold_rules(&in_coords, in_grid, sp.kernel);
+                (Arc::clone(&in_coords), rules)
+            }
+            _ => {
+                let (out, rules) = arena.dilate_and_count(&in_coords, in_grid, sp.kind, sp.kernel);
+                (Arc::from(out), rules)
+            }
         };
-        let rules = count_rules(&in_coords, in_grid, out_grid, sp.kind, sp.kernel);
         // Dynamic pruning for SpConv-P layers.
-        let out_coords = if sp.kind == ConvKind::SpConvP {
+        let out_coords: Arc<[PillarCoord]> = if sp.kind == ConvKind::SpConvP {
             let downsample = (grid.height / out_grid.height).max(1);
             let scores = match (ctx.scene, ctx.pillar_config) {
                 (Some(scene), Some(cfg)) => {
@@ -285,9 +344,11 @@ pub fn execute_pattern(
                     pruned_foreground_ratio.push(fg_after as f64 / fg_before as f64);
                 }
             }
-            kept
+            Arc::from(kept)
         } else {
-            dilated.clone()
+            // Non-pruning layers pass the dilated set through unchanged — an
+            // `Arc` clone, not a coordinate copy.
+            Arc::clone(&dilated)
         };
         let macs = match sp.kind {
             ConvKind::Dense => {
@@ -320,7 +381,7 @@ pub fn execute_pattern(
             input_grid: in_grid,
             input_coords: in_coords,
             output_grid: out_grid,
-            output_coords: out_coords.clone(),
+            output_coords: Arc::clone(&out_coords),
             rules,
         });
         outputs.push((out_grid, out_coords));
@@ -352,6 +413,10 @@ pub fn execute_pattern(
 
 /// Counts the number of input-output rules for a layer analytically (without
 /// materialising the rule book).
+///
+/// The submanifold path binary-searches `input_coords` directly when the
+/// slice is already in CPR order (as every layer input in this crate is);
+/// unsorted input is handled via a one-off sorted copy.
 #[must_use]
 pub fn count_rules(
     input_coords: &[PillarCoord],
@@ -375,13 +440,25 @@ pub fn count_rules(
             rules
         }
         ConvKind::SpConvS => {
-            let set: std::collections::HashSet<PillarCoord> =
-                input_coords.iter().copied().collect();
+            // Every in-repo layer input is CPR-sorted, so membership is a
+            // binary search on the slice itself; an unsorted caller (legal,
+            // just slower) falls back to an owned sorted copy so the counts
+            // stay correct in release builds too.
+            let sorted_copy: Vec<PillarCoord>;
+            let sorted: &[PillarCoord] = if input_coords.windows(2).all(|w| w[0] < w[1]) {
+                input_coords
+            } else {
+                let mut v = input_coords.to_vec();
+                v.sort_unstable();
+                v.dedup();
+                sorted_copy = v;
+                &sorted_copy
+            };
             let mut rules = 0u64;
             for p in input_coords {
                 for &(dr, dc) in &offsets {
                     if let Some(q) = p.offset(-dr, -dc, in_grid) {
-                        if set.contains(&q) {
+                        if sorted.binary_search(&q).is_ok() {
                             rules += 1;
                         }
                     }
@@ -434,20 +511,11 @@ pub fn dense_macs_for(spec: &LayerSpec, in_grid: GridShape, out_grid: GridShape)
     cells * spec.kernel.num_taps() as u64 * spec.macs_per_rule() as u64
 }
 
-fn all_cells(grid: GridShape) -> Vec<PillarCoord> {
-    let mut v = Vec::with_capacity(grid.num_cells());
-    for r in 0..grid.height {
-        for c in 0..grid.width {
-            v.push(PillarCoord::new(r, c));
-        }
-    }
-    v
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::kernel::KernelShape;
+    use spade_tensor::CprTensor;
 
     fn simple_spec(kind: ConvKind) -> NetworkSpec {
         NetworkSpec {

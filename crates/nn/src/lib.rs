@@ -24,6 +24,8 @@
 //!   importance model.
 //! * [`graph`] — layer graphs, network execution traces (active pillars,
 //!   operation counts, IOPR per layer).
+//! * [`arena`] — reusable scratch buffers for the pattern-level executor's
+//!   fused streaming sweeps (zero per-layer reallocation).
 //! * [`zoo`] — the paper's model zoo: PP, SPP1–3, CP, SCP1–3, PN, SPN.
 //! * [`stats`] — GOPs/sparsity accounting helpers (Table I).
 //!
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod conv;
 pub mod encoder;
 pub mod graph;
@@ -50,6 +53,7 @@ pub mod rulegen;
 pub mod stats;
 pub mod zoo;
 
+pub use arena::ExecutionArena;
 pub use conv::{ConvKind, LayerSpec};
 pub use graph::{LayerTrace, NetworkSpec, NetworkTrace};
 pub use kernel::{KernelShape, WeightGroup, Weights};

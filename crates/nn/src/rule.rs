@@ -62,6 +62,31 @@ impl RuleBook {
         }
     }
 
+    /// Creates an empty rule book whose output coordinates are streamed in
+    /// ascending CPR order via [`RuleBook::push_output`] *while* rules are
+    /// pushed — the construction mode of the fused streaming generator, which
+    /// discovers outputs and rules in the same pass.
+    #[must_use]
+    pub fn streamed(num_taps: usize, output_grid: GridShape) -> Self {
+        Self {
+            per_tap: vec![Vec::new(); num_taps],
+            output_grid,
+            output_coords: Vec::new(),
+        }
+    }
+
+    /// Appends the next active output coordinate and returns its index.
+    /// Coordinates must arrive in strictly ascending CPR order (checked with
+    /// a debug assertion — streamed construction maintains it by design).
+    pub fn push_output(&mut self, coord: PillarCoord) -> usize {
+        debug_assert!(
+            self.output_coords.last().is_none_or(|&last| last < coord),
+            "streamed output coordinates must be strictly ascending"
+        );
+        self.output_coords.push(coord);
+        self.output_coords.len() - 1
+    }
+
     /// Adds a rule: input pillar `input` contributes to output pillar `output`
     /// through kernel tap `tap`.
     ///
@@ -196,6 +221,21 @@ mod tests {
         assert_eq!(rb.rules_for_tap(0).len(), 2);
         assert_eq!(rb.rules_for_tap(4).len(), 0);
         assert_eq!(rb.num_outputs(), 2);
+    }
+
+    #[test]
+    fn streamed_construction_matches_upfront_outputs() {
+        let outs = coords(&[(0, 1), (1, 0), (2, 2)]);
+        let mut up = RuleBook::new(2, GridShape::new(4, 4), outs.clone());
+        up.push(0, 0, 0);
+        up.push(1, 1, 2);
+        let mut st = RuleBook::streamed(2, GridShape::new(4, 4));
+        assert_eq!(st.push_output(outs[0]), 0);
+        st.push(0, 0, 0);
+        assert_eq!(st.push_output(outs[1]), 1);
+        assert_eq!(st.push_output(outs[2]), 2);
+        st.push(1, 1, 2);
+        assert_eq!(up, st);
     }
 
     #[test]

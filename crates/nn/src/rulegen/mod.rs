@@ -107,60 +107,29 @@ impl RuleGenMethod {
 
 /// Computes the active output coordinates of a sparse convolution, in CPR
 /// order.
+///
+/// Dilating kinds run the fused streaming sweep (no `BTreeSet`, no sort):
+/// the merged candidate streams already emit outputs in CPR order.
 #[must_use]
 pub fn output_coords(input: &CprTensor, kind: ConvKind, kernel: KernelShape) -> Vec<PillarCoord> {
     let grid = input.grid();
     let out_grid = output_grid(grid, kind);
     match kind {
-        ConvKind::Dense => {
-            let mut v = Vec::with_capacity(out_grid.num_cells());
-            for r in 0..out_grid.height {
-                for c in 0..out_grid.width {
-                    v.push(PillarCoord::new(r, c));
-                }
-            }
-            v
-        }
+        ConvKind::Dense => out_grid.all_cells(),
         ConvKind::SpConvS => input.coords(),
-        ConvKind::SpConv | ConvKind::SpConvP => {
-            let mut set = std::collections::BTreeSet::new();
-            for p in input.iter_coords() {
-                for (dr, dc) in kernel.offsets() {
-                    if let Some(q) = p.offset(-dr, -dc, out_grid) {
-                        set.insert(q);
-                    }
-                }
-            }
-            set.into_iter().collect()
-        }
-        ConvKind::SpStConv => {
-            let mut set = std::collections::BTreeSet::new();
-            for p in input.iter_coords() {
-                for (dr, dc) in kernel.offsets() {
-                    let qr2 = i64::from(p.row) - i64::from(dr);
-                    let qc2 = i64::from(p.col) - i64::from(dc);
-                    if qr2 < 0 || qc2 < 0 || qr2 % 2 != 0 || qc2 % 2 != 0 {
-                        continue;
-                    }
-                    let q = PillarCoord::new((qr2 / 2) as u32, (qc2 / 2) as u32);
-                    if q.in_bounds(out_grid) {
-                        set.insert(q);
-                    }
-                }
-            }
-            set.into_iter().collect()
-        }
-        ConvKind::SpDeconv => {
-            let mut set = std::collections::BTreeSet::new();
-            for p in input.iter_coords() {
-                for (dr, dc) in kernel.offsets() {
-                    let q = PillarCoord::new(p.row * 2 + dr as u32, p.col * 2 + dc as u32);
-                    if q.in_bounds(out_grid) {
-                        set.insert(q);
-                    }
-                }
-            }
-            set.into_iter().collect()
+        _ => {
+            let mut out = Vec::new();
+            let mut streams = Vec::with_capacity(kernel.num_taps());
+            streaming::fused_sweep(
+                &input,
+                grid,
+                out_grid,
+                kind,
+                kernel,
+                &mut streams,
+                &mut streaming::CoordSink(&mut out),
+            );
+            out
         }
     }
 }

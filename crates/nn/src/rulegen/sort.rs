@@ -71,13 +71,7 @@ pub fn generate_with_stats(
     let mut output_coords: Vec<PillarCoord> = if restrict_to_input {
         input.coords()
     } else if matches!(kind, ConvKind::Dense) {
-        let mut v = Vec::with_capacity(out_grid.num_cells());
-        for r in 0..out_grid.height {
-            for c in 0..out_grid.width {
-                v.push(PillarCoord::new(r, c));
-            }
-        }
-        v
+        out_grid.all_cells()
     } else {
         let mut v: Vec<PillarCoord> = candidates.iter().map(|&(q, _, _)| q).collect();
         v.dedup();

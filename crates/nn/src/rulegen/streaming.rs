@@ -1,85 +1,337 @@
-//! The paper's streaming rule-generation algorithm (Sec. III-B).
+//! The paper's streaming rule-generation algorithm (Sec. III-B), implemented
+//! as a single fused sweep.
 //!
 //! Because the input is CPR-encoded (rows in order, columns sorted within a
-//! row), the rule for every output row can be produced by looking only at the
-//! `kh` input rows that overlap its receptive field:
+//! row), every output row can be produced by looking only at the `kh` input
+//! rows that overlap its receptive field:
 //!
 //! 1. **Alignment** — the `kh` relevant input rows are walked simultaneously.
-//! 2. **Row merge** — their column indices are merged into one sorted stream.
-//! 3. **Column-wise dilation** — each merged column is dilated by the kernel
-//!    width to enumerate the active output columns, and the (input, tap,
-//!    output) triples are emitted in ascending output order.
+//! 2. **Row merge** — each (input row, kernel column) pair forms one sorted
+//!    stream of candidate output columns; the `kh·kw` streams are merged with
+//!    a k-way comparator scan.
+//! 3. **Column-wise dilation** — the merged stream yields the active output
+//!    columns in ascending order, so the output coordinate set, the rule
+//!    book, and the rule count all fall out of the *same* pass: a monotone
+//!    output counter assigns output indices exactly as the RGU hardware does,
+//!    with no hash table, no sort, and no binary search.
 //!
-//! The whole process touches every active pillar a constant number of times,
-//! giving the `O(P)` complexity that the RGU hardware exploits.
+//! Each active pillar is touched a constant number of times (once per kernel
+//! tap), giving the `O(P·K)` complexity the RGU exploits; the k-way head
+//! comparison is a fixed `K ≤ 9`-wide scan that hardware evaluates in
+//! parallel. The crate-internal `fused_sweep` is the shared core:
+//! [`generate`] drives it to build a full [`RuleBook`], while the
+//! pattern-level executor ([`crate::arena::ExecutionArena`]) drives it to
+//! produce output coordinates and rule counts without materialising rules.
 
 use crate::conv::ConvKind;
 use crate::kernel::KernelShape;
 use crate::rule::RuleBook;
-use crate::rulegen::{output_coords, output_grid};
-use spade_tensor::{CprTensor, PillarCoord};
+use crate::rulegen::output_grid;
+use spade_tensor::{CprTensor, GridShape, PillarCoord};
 
-/// Generates a rule book by streaming the CPR structure row by row.
-#[must_use]
-pub fn generate(input: &CprTensor, kind: ConvKind, kernel: KernelShape) -> RuleBook {
-    let out_grid = output_grid(input.grid(), kind);
-    let outputs = output_coords(input, kind, kernel);
-    let mut book = RuleBook::new(kernel.num_taps(), out_grid, outputs);
-    // Index from output coordinate to output index; because outputs are in CPR
-    // order this is a sorted slice, so lookups are binary searches (the
-    // hardware instead exploits monotonicity to track indices with counters).
-    let out_coords = book.output_coords().to_vec();
-    let find_output =
-        |coord: PillarCoord| -> Option<usize> { out_coords.binary_search(&coord).ok() };
+/// Sentinel head value for a drained merge stream.
+const EXHAUSTED: u32 = u32::MAX;
 
-    match kind {
-        ConvKind::SpDeconv => {
-            for (p_idx, p) in input.iter_coords().enumerate() {
-                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
-                    let q = PillarCoord::new(p.row * 2 + dr as u32, p.col * 2 + dc as u32);
-                    if !q.in_bounds(out_grid) {
+/// Row-indexed access to a CPR-ordered coordinate set: the global index of a
+/// row's first pillar plus the row's sorted column indices.
+pub(crate) trait RowSource {
+    /// Returns `(global index of the first pillar in row r, columns of row r)`.
+    fn row(&self, r: u32) -> (usize, &[u32]);
+}
+
+impl RowSource for &CprTensor {
+    fn row(&self, r: u32) -> (usize, &[u32]) {
+        (self.row_range(r).0, self.pillars_in_row(r))
+    }
+}
+
+/// A [`RowSource`] over scratch `row_ptr`/`cols` buffers built from a sorted
+/// coordinate slice (see [`crate::arena::ExecutionArena`]).
+pub(crate) struct SliceRows<'a> {
+    /// Row pointer array, `height + 1` entries.
+    pub row_ptr: &'a [usize],
+    /// Column index of every pillar, grouped by row.
+    pub cols: &'a [u32],
+}
+
+impl RowSource for SliceRows<'_> {
+    fn row(&self, r: u32) -> (usize, &[u32]) {
+        let start = self.row_ptr[r as usize];
+        let end = self.row_ptr[r as usize + 1];
+        (start, &self.cols[start..end])
+    }
+}
+
+/// One merge stream: a single (input row, kernel tap) pair emitting candidate
+/// output columns in ascending order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StreamState {
+    /// Input row this stream reads.
+    row: u32,
+    /// Cursor within the row's column slice.
+    cursor: usize,
+    /// Global CPR index of the row's first pillar.
+    base: usize,
+    /// Column offset (`dc`) of the tap.
+    dc: i32,
+    /// Kernel tap index this stream feeds.
+    tap: u32,
+    /// Current candidate output column ([`EXHAUSTED`] when drained).
+    head: u32,
+}
+
+/// Advances `s` to its next valid candidate output column. All three column
+/// maps are monotone in the input column, so candidates past the right grid
+/// edge drain the stream outright.
+fn settle<R: RowSource>(rows: &R, s: &mut StreamState, kind: ConvKind, out_w: u32) {
+    let (_, cols) = rows.row(s.row);
+    while s.cursor < cols.len() {
+        let col = i64::from(cols[s.cursor]);
+        let cand = match kind {
+            ConvKind::SpStConv => {
+                // q.col = (p.col - dc) / 2, parity permitting.
+                let v = col - i64::from(s.dc);
+                if v < 0 || v % 2 != 0 {
+                    s.cursor += 1;
+                    continue;
+                }
+                v / 2
+            }
+            ConvKind::SpDeconv => 2 * col + i64::from(s.dc),
+            // Stride-1: q.col = p.col - dc.
+            _ => col - i64::from(s.dc),
+        };
+        if cand < 0 {
+            s.cursor += 1;
+            continue;
+        }
+        if cand >= i64::from(out_w) {
+            break;
+        }
+        s.head = cand as u32;
+        return;
+    }
+    s.head = EXHAUSTED;
+}
+
+/// Receiver of the fused sweep's two interleaved emission feeds. All rules
+/// targeting an output arrive immediately after that output's
+/// [`SweepSink::output`] call (candidate streams are strictly increasing, so
+/// an output column is never revisited).
+pub(crate) trait SweepSink {
+    /// A new active output coordinate, in ascending CPR order.
+    fn output(&mut self, coord: PillarCoord);
+    /// A rule `(tap, input index, output index)`.
+    fn rule(&mut self, tap: usize, input: usize, output: usize);
+}
+
+/// A sink that only collects output coordinates (pattern-level execution).
+pub(crate) struct CoordSink<'a>(pub &'a mut Vec<PillarCoord>);
+
+impl SweepSink for CoordSink<'_> {
+    fn output(&mut self, coord: PillarCoord) {
+        self.0.push(coord);
+    }
+    fn rule(&mut self, _tap: usize, _input: usize, _output: usize) {}
+}
+
+/// A sink that discards everything (rule counting only).
+pub(crate) struct NullSink;
+
+impl SweepSink for NullSink {
+    fn output(&mut self, _coord: PillarCoord) {}
+    fn rule(&mut self, _tap: usize, _input: usize, _output: usize) {}
+}
+
+/// Streams both feeds into a [`RuleBook`].
+struct BookSink<'a>(&'a mut RuleBook);
+
+impl SweepSink for BookSink<'_> {
+    fn output(&mut self, coord: PillarCoord) {
+        self.0.push_output(coord);
+    }
+    fn rule(&mut self, tap: usize, input: usize, output: usize) {
+        self.0.push(tap, input, output);
+    }
+}
+
+/// The fused streaming sweep: walks every output row once, k-way-merging the
+/// overlapping input rows, and emits output coordinates (in CPR order),
+/// rules (`(tap, input index, output index)`), and the rule count together
+/// through a single [`SweepSink`].
+///
+/// For [`ConvKind::SpConvS`] the output set is the input set, so
+/// [`SweepSink::output`] is never called and emitted output indices refer to
+/// the *input* ordering. [`ConvKind::Dense`] has no sparse structure to
+/// stream and is handled by the callers directly.
+///
+/// Returns `(number of outputs emitted, number of rules)`.
+pub(crate) fn fused_sweep<R: RowSource>(
+    rows: &R,
+    in_grid: GridShape,
+    out_grid: GridShape,
+    kind: ConvKind,
+    kernel: KernelShape,
+    streams: &mut Vec<StreamState>,
+    sink: &mut impl SweepSink,
+) -> (usize, u64) {
+    debug_assert!(kind != ConvKind::Dense, "dense layers bypass the sweep");
+    let (kh, kw) = (i64::from(kernel.kh), i64::from(kernel.kw));
+    // Same centring convention as `KernelShape::offsets`.
+    let centre_r = if kernel.kh % 2 == 1 {
+        i64::from(kernel.kh / 2)
+    } else {
+        0
+    };
+    let centre_c = if kernel.kw % 2 == 1 {
+        i64::from(kernel.kw / 2)
+    } else {
+        0
+    };
+    let submanifold = kind == ConvKind::SpConvS;
+    let mut num_outputs = 0usize;
+    let mut num_rules = 0u64;
+
+    for o in 0..out_grid.height {
+        // Alignment: one stream per (overlapping input row, kernel column).
+        streams.clear();
+        for kr in 0..kh {
+            let dr = kr - centre_r;
+            let p_row: i64 = match kind {
+                ConvKind::SpStConv => 2 * i64::from(o) + dr,
+                ConvKind::SpDeconv => {
+                    // q.row = 2·p.row + dr ⇒ p.row = (o − dr) / 2.
+                    let v = i64::from(o) - dr;
+                    if v < 0 || v % 2 != 0 {
                         continue;
                     }
-                    if let Some(q_idx) = find_output(q) {
-                        book.push(tap, p_idx, q_idx);
-                    }
+                    v / 2
+                }
+                _ => i64::from(o) + dr,
+            };
+            if p_row < 0 || p_row >= i64::from(in_grid.height) {
+                continue;
+            }
+            let (base, cols) = rows.row(p_row as u32);
+            if cols.is_empty() {
+                continue;
+            }
+            for kc in 0..kw {
+                let mut s = StreamState {
+                    row: p_row as u32,
+                    cursor: 0,
+                    base,
+                    dc: (kc - centre_c) as i32,
+                    tap: (kr * kw + kc) as u32,
+                    head: EXHAUSTED,
+                };
+                settle(rows, &mut s, kind, out_grid.width);
+                if s.head != EXHAUSTED {
+                    streams.push(s);
                 }
             }
         }
-        ConvKind::SpStConv => {
-            for (p_idx, p) in input.iter_coords().enumerate() {
-                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
-                    let qr2 = i64::from(p.row) - i64::from(dr);
-                    let qc2 = i64::from(p.col) - i64::from(dc);
-                    if qr2 < 0 || qc2 < 0 || qr2 % 2 != 0 || qc2 % 2 != 0 {
-                        continue;
-                    }
-                    let q = PillarCoord::new((qr2 / 2) as u32, (qc2 / 2) as u32);
-                    if !q.in_bounds(out_grid) {
-                        continue;
-                    }
-                    if let Some(q_idx) = find_output(q) {
-                        book.push(tap, p_idx, q_idx);
-                    }
+        if streams.is_empty() {
+            continue;
+        }
+        // For submanifold convolution the active outputs of this row are the
+        // active inputs of the same row; a forward cursor intersects the
+        // merged candidate stream with them in the same pass.
+        let (out_base, out_cols) = if submanifold {
+            rows.row(o)
+        } else {
+            (0, &[][..])
+        };
+        let mut oc = 0usize;
+        let mut last_emitted = EXHAUSTED;
+
+        // Row merge + column-wise dilation.
+        loop {
+            let mut best = EXHAUSTED;
+            for s in streams.iter() {
+                if s.head < best {
+                    best = s.head;
                 }
             }
-        }
-        _ => {
-            // Stride-1 convolutions (dense, SpConv, SpConv-S, SpConv-P): an
-            // input at p contributes to output q = p - offset through the tap
-            // with that offset.
-            for (p_idx, p) in input.iter_coords().enumerate() {
-                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
-                    if let Some(q) = p.offset(-dr, -dc, out_grid) {
-                        if let Some(q_idx) = find_output(q) {
-                            book.push(tap, p_idx, q_idx);
-                        }
+            if best == EXHAUSTED {
+                break;
+            }
+            let q_idx = if submanifold {
+                while oc < out_cols.len() && out_cols[oc] < best {
+                    oc += 1;
+                }
+                (oc < out_cols.len() && out_cols[oc] == best).then(|| out_base + oc)
+            } else {
+                if last_emitted != best {
+                    sink.output(PillarCoord::new(o, best));
+                    num_outputs += 1;
+                }
+                Some(num_outputs - 1)
+            };
+            last_emitted = best;
+            for s in streams.iter_mut() {
+                if s.head == best {
+                    if let Some(q) = q_idx {
+                        sink.rule(s.tap as usize, s.base + s.cursor, q);
+                        num_rules += 1;
                     }
+                    s.cursor += 1;
+                    settle(rows, s, kind, out_grid.width);
                 }
             }
         }
     }
-    book
+    (num_outputs, num_rules)
+}
+
+/// Generates a rule book with the fused streaming sweep: output coordinates,
+/// per-tap rules, and the rule count are produced in one `O(P·K)` pass.
+#[must_use]
+pub fn generate(input: &CprTensor, kind: ConvKind, kernel: KernelShape) -> RuleBook {
+    let out_grid = output_grid(input.grid(), kind);
+    let mut streams: Vec<StreamState> = Vec::with_capacity(kernel.num_taps());
+    match kind {
+        ConvKind::Dense => {
+            // Every grid cell is an active output, so the output index is the
+            // linear cell index — no lookup of any kind.
+            let mut book = RuleBook::new(kernel.num_taps(), out_grid, out_grid.all_cells());
+            for (p_idx, p) in input.iter_coords().enumerate() {
+                for (tap, (dr, dc)) in kernel.offsets().into_iter().enumerate() {
+                    if let Some(q) = p.offset(-dr, -dc, out_grid) {
+                        book.push(tap, p_idx, q.linear_index(out_grid));
+                    }
+                }
+            }
+            book
+        }
+        ConvKind::SpConvS => {
+            // Submanifold outputs are the inputs; indices coincide.
+            let mut book = RuleBook::new(kernel.num_taps(), out_grid, input.coords());
+            fused_sweep(
+                &input,
+                input.grid(),
+                out_grid,
+                kind,
+                kernel,
+                &mut streams,
+                &mut BookSink(&mut book),
+            );
+            book
+        }
+        _ => {
+            let mut book = RuleBook::streamed(kernel.num_taps(), out_grid);
+            fused_sweep(
+                &input,
+                input.grid(),
+                out_grid,
+                kind,
+                kernel,
+                &mut streams,
+                &mut BookSink(&mut book),
+            );
+            book
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +407,39 @@ mod tests {
         assert!(book.num_rules() > 0);
         assert_eq!(book.output_grid(), GridShape::new(3, 3));
         assert!(book.check_monotone());
+    }
+
+    #[test]
+    fn fused_outputs_match_output_coords_helper() {
+        let t = sample();
+        for kind in [ConvKind::SpConv, ConvKind::SpStConv] {
+            let book = generate(&t, kind, KernelShape::k3x3());
+            let outs = crate::rulegen::output_coords(&t, kind, KernelShape::k3x3());
+            assert_eq!(book.output_coords(), &outs[..], "kind {kind}");
+        }
+        let book = generate(&t, ConvKind::SpDeconv, KernelShape::k2x2());
+        let outs = crate::rulegen::output_coords(&t, ConvKind::SpDeconv, KernelShape::k2x2());
+        assert_eq!(book.output_coords(), &outs[..]);
+    }
+
+    #[test]
+    fn one_by_one_kernels_stream_correctly() {
+        let t = sample();
+        let book = generate(&t, ConvKind::SpConv, KernelShape::k1x1());
+        // A 1x1 SpConv maps each input onto itself.
+        assert_eq!(book.num_rules(), t.num_active());
+        assert_eq!(book.num_outputs(), t.num_active());
+        assert_eq!(book.output_coords(), &t.coords()[..]);
+        assert!(book.check_monotone());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_book() {
+        let t = CprTensor::empty(GridShape::new(8, 8), 1);
+        for kind in [ConvKind::SpConv, ConvKind::SpConvS, ConvKind::SpStConv] {
+            let book = generate(&t, kind, KernelShape::k3x3());
+            assert_eq!(book.num_rules(), 0, "kind {kind}");
+            assert_eq!(book.num_outputs(), 0, "kind {kind}");
+        }
     }
 }

@@ -124,9 +124,11 @@ impl PillarizedCloud {
 
     /// Builds a pattern-only CPR tensor (all features 1.0) with the given
     /// channel count. Useful when only the sparsity pattern matters.
+    /// `active_coords` is CPR-sorted by construction, so this takes the
+    /// sort-free fast path.
     #[must_use]
     pub fn to_pattern_tensor(&self, channels: usize) -> CprTensor {
-        CprTensor::from_coords(self.grid, channels, &self.active_coords)
+        CprTensor::from_sorted_coords(self.grid, channels, &self.active_coords)
     }
 }
 

@@ -151,6 +151,19 @@ impl GridShape {
             width: self.width * factor,
         }
     }
+
+    /// Every cell of the grid as a coordinate list in CPR (row-major) order —
+    /// the active set of a fully dense tensor.
+    #[must_use]
+    pub fn all_cells(self) -> Vec<PillarCoord> {
+        let mut v = Vec::with_capacity(self.num_cells());
+        for r in 0..self.height {
+            for c in 0..self.width {
+                v.push(PillarCoord::new(r, c));
+            }
+        }
+        v
+    }
 }
 
 impl fmt::Display for GridShape {

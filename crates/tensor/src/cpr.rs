@@ -59,9 +59,17 @@ impl CprTensor {
     /// channel values with `1.0`. Duplicate coordinates are collapsed.
     ///
     /// This is the common entry point for workload generation where only the
-    /// *pattern* of active pillars matters.
+    /// *pattern* of active pillars matters. Inputs that are already strictly
+    /// CPR-sorted and in bounds skip the sort/dedup pass entirely; callers
+    /// that can *guarantee* that ordering should use
+    /// [`CprTensor::from_sorted_coords`] directly.
     #[must_use]
     pub fn from_coords(grid: GridShape, channels: usize, coords: &[PillarCoord]) -> Self {
+        let cpr_ready =
+            coords.windows(2).all(|w| w[0] < w[1]) && coords.iter().all(|c| c.in_bounds(grid));
+        if cpr_ready {
+            return Self::from_sorted_coords(grid, channels, coords);
+        }
         let mut sorted: Vec<PillarCoord> = coords
             .iter()
             .copied()
@@ -69,13 +77,41 @@ impl CprTensor {
             .collect();
         sorted.sort();
         sorted.dedup();
-        let mut builder = CprBuilder::new(grid, channels);
-        for c in sorted {
-            builder
-                .push(c, vec![1.0; channels])
-                .expect("sorted, deduplicated, in-bounds coordinates cannot fail");
+        Self::from_sorted_coords(grid, channels, &sorted)
+    }
+
+    /// Builds a pattern-only tensor (all features `1.0`) from coordinates
+    /// that are **already** strictly CPR-sorted (row-major, unique) and in
+    /// bounds — the fast path for data that is CPR-ordered by construction,
+    /// such as rule-generation outputs or pillarised frames.
+    ///
+    /// Skips the sort, dedup, and per-pillar feature allocations of
+    /// [`CprTensor::from_coords`]; the ordering contract is checked with
+    /// debug assertions only.
+    #[must_use]
+    pub fn from_sorted_coords(grid: GridShape, channels: usize, coords: &[PillarCoord]) -> Self {
+        debug_assert!(
+            coords.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_coords requires strictly CPR-sorted coordinates"
+        );
+        debug_assert!(
+            coords.iter().all(|c| c.in_bounds(grid)),
+            "from_sorted_coords requires in-bounds coordinates"
+        );
+        let mut row_ptr = vec![0usize; grid.height as usize + 1];
+        for c in coords {
+            row_ptr[c.row as usize + 1] += 1;
         }
-        builder.build()
+        for i in 1..row_ptr.len() {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        CprTensor {
+            grid,
+            channels,
+            row_ptr,
+            cols: coords.iter().map(|c| c.col).collect(),
+            features: vec![1.0; coords.len() * channels],
+        }
     }
 
     /// Builds a tensor from `(coordinate, feature-vector)` pairs given in any
@@ -508,6 +544,27 @@ mod tests {
         let t = sample_tensor();
         assert!((t.occupancy() - 4.0 / 20.0).abs() < 1e-12);
         assert!((t.sparsity() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_sorted_coords_matches_from_coords() {
+        let grid = GridShape::new(6, 6);
+        let coords = [
+            PillarCoord::new(0, 2),
+            PillarCoord::new(1, 0),
+            PillarCoord::new(1, 5),
+            PillarCoord::new(4, 4),
+        ];
+        let fast = CprTensor::from_sorted_coords(grid, 3, &coords);
+        let slow = CprTensor::from_coords(grid, 3, &coords);
+        assert_eq!(fast, slow);
+        assert!(fast.check_invariants());
+        assert_eq!(fast.features(2), &[1.0, 1.0, 1.0]);
+        // Empty input round-trips too.
+        assert_eq!(
+            CprTensor::from_sorted_coords(grid, 2, &[]),
+            CprTensor::empty(grid, 2)
+        );
     }
 
     #[test]

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: runs the criterion-stub bench suite plus timed
+# DSE sweeps (release profile) and writes the medians as machine-readable
+# JSON, so every PR can record before/after numbers in a BENCH_PR<n>.json.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The committed BENCH_PR4.json holds two such snapshots ("before" = the tree
+# at PR 3, "after" = the PR 4 hot-path rewrite) plus the PR 1 baseline
+# medians from BENCH_BASELINE.md for cross-machine context.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+# shellcheck source=scripts/now_ms.sh
+. scripts/now_ms.sh
+OUT=${1:-/dev/stdout}
+
+cargo build --release -q -p spade-bench --bin spade-experiments
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+cargo bench -p spade-bench 2>/dev/null | grep ': median ' > "$RAW"
+
+t0=$(now_ms)
+./target/release/spade-experiments --reduced dse --jobs 1 >/dev/null
+t1=$(now_ms)
+REDUCED_MS=$(( t1 - t0 ))
+
+t0=$(now_ms)
+./target/release/spade-experiments dse --jobs 1 >/dev/null
+t1=$(now_ms)
+FULL_MS=$(( t1 - t0 ))
+
+{
+    echo '{'
+    echo '  "benches": ['
+    awk -F': median ' '{
+        id = $1
+        v = $2
+        sub(/ over.*/, "", v)
+        if (v ~ /ns$/)      { sub(/ns$/, "", v); ms = v / 1000000 }
+        else if (v ~ /µs$/) { sub(/µs$/, "", v); ms = v / 1000 }
+        else if (v ~ /ms$/) { sub(/ms$/, "", v); ms = v + 0 }
+        else                { sub(/s$/,  "", v); ms = v * 1000 }
+        printf "    {\"id\": \"%s\", \"median_ms\": %.6f},\n", id, ms
+    }' "$RAW" | sed '$ s/,$//'
+    echo '  ],'
+    echo "  \"dse\": {\"reduced_grid_jobs1_ms\": ${REDUCED_MS}, \"full_grid_jobs1_ms\": ${FULL_MS}}"
+    echo '}'
+} > "$OUT"

@@ -6,8 +6,9 @@
 #   2. cargo clippy -D warnings — lints, all targets
 #   3. cargo test -q            — unit + integration + property + doc tests
 #   4. dse smoke with --jobs 4  — the parallel sweep path, reduced grid
-#   5. cargo bench --no-run     — all 13 figure benches must compile
-#   6. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
+#   5. perf smoke               — reduced dse (release) vs committed reference
+#   6. cargo bench --no-run     — all 13 figure benches must compile
+#   7. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +24,9 @@ cargo test -q --workspace
 
 echo "==> dse smoke (reduced grid, 4 worker threads)"
 cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4
+
+echo "==> perf smoke (release reduced dse vs committed reference)"
+scripts/perf_smoke.sh
 
 echo "==> cargo bench -p spade-bench --no-run"
 cargo bench -p spade-bench --no-run

@@ -1,0 +1,19 @@
+# Portable millisecond wall clock for the perf scripts. GNU date supports
+# `%N` (nanoseconds) but BSD/macOS date prints a literal "N"; bash >= 5
+# exposes EPOCHREALTIME everywhere. Try the precise sources first and fall
+# back to whole seconds rather than failing.
+now_ms() {
+    if [ -n "${EPOCHREALTIME:-}" ]; then
+        # Microsecond float; the decimal separator is locale-dependent.
+        local whole=${EPOCHREALTIME%[.,]*}
+        local frac=${EPOCHREALTIME#*[.,]}
+        echo $((whole * 1000 + 10#${frac:0:3}))
+        return
+    fi
+    local ns
+    ns=$(date +%s%N)
+    case "$ns" in
+        *N) echo $(($(date +%s) * 1000)) ;; # BSD date: no %N support
+        *) echo $((ns / 1000000)) ;;
+    esac
+}

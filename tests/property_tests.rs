@@ -49,6 +49,48 @@ proptest! {
         prop_assert!(spade::nn::rulegen::hash::equivalent_to_streaming(&t, ConvKind::SpDeconv, KernelShape::k2x2()));
     }
 
+    /// The fused streaming pass is pinned to the hash-table and merge-sort
+    /// reference generators for every convolution kind and kernel shape the
+    /// zoo uses: the rule books must be *identical* (same outputs, same
+    /// per-tap rule sequences), and the analytic `count_rules` must equal the
+    /// materialised rule count.
+    #[test]
+    fn fused_streaming_is_pinned_to_reference_generators(coords in arb_coords(48)) {
+        let grid = GridShape::new(24, 24);
+        let t = CprTensor::from_coords(grid, 1, &coords);
+        let cases = [
+            (ConvKind::SpConv, KernelShape::k3x3()),
+            (ConvKind::SpConvS, KernelShape::k3x3()),
+            (ConvKind::SpConvP, KernelShape::k3x3()),
+            (ConvKind::SpStConv, KernelShape::k3x3()),
+            (ConvKind::SpDeconv, KernelShape::k2x2()),
+            (ConvKind::Dense, KernelShape::k3x3()),
+            (ConvKind::SpConv, KernelShape::k1x1()),
+            (ConvKind::SpConvS, KernelShape::k1x1()),
+            (ConvKind::SpStConv, KernelShape::k1x1()),
+        ];
+        for (kind, kernel) in cases {
+            let fused = spade::nn::rulegen::streaming::generate(&t, kind, kernel);
+            let hashed = spade::nn::rulegen::hash::generate(&t, kind, kernel);
+            let sorted = spade::nn::rulegen::sort::generate(&t, kind, kernel);
+            prop_assert_eq!(&fused, &hashed, "hash mismatch for {} {:?}", kind, kernel);
+            prop_assert_eq!(&fused, &sorted, "sort mismatch for {} {:?}", kind, kernel);
+            prop_assert!(fused.check_monotone(), "monotonicity lost for {} {:?}", kind, kernel);
+            // Dense `count_rules` is the closed-form cells x taps (it counts
+            // the dense loop, not the in-bounds rule book entries).
+            if kind != ConvKind::Dense {
+                let counted = spade::nn::graph::count_rules(
+                    &t.coords(),
+                    grid,
+                    rulegen::output_grid(grid, kind),
+                    kind,
+                    kernel,
+                );
+                prop_assert_eq!(counted, fused.num_rules() as u64, "count mismatch for {} {:?}", kind, kernel);
+            }
+        }
+    }
+
     /// Submanifold convolution never changes the active set; standard sparse
     /// convolution never shrinks it; and the streaming rule book stays
     /// monotone (the property SPADE's hardware depends on).
