@@ -11,15 +11,19 @@
 //! # DSE-specific flags (only meaningful with the `dse` experiment):
 //! spade-experiments dse --jobs 4                    # sweep on 4 worker threads
 //! spade-experiments dse --frames 8 --drive-seed 7   # reshape the drive
+//! spade-experiments dse --scenario stop-and-go      # scripted persistent drive
 //! spade-experiments dse --csv pareto.csv            # export the grid as CSV
 //! spade-experiments dse --json pareto.json          # ... or as JSON
 //! ```
 //!
 //! `--jobs` defaults to the machine's available parallelism; the sweep
-//! result is bit-identical for every worker count.
+//! result is bit-identical for every worker count. `--scenario` selects a
+//! scripted drive (`constant | urban | stop-and-go | tunnel`); without it
+//! the sweep runs the legacy i.i.d. density-ramp drive.
 
 use spade_bench::dse::{run_dse_with_jobs, DseParams};
 use spade_bench::{default_jobs, run_experiment, WorkloadScale};
+use spade_pointcloud::NamedScenario;
 
 struct Cli {
     scale: WorkloadScale,
@@ -27,6 +31,7 @@ struct Cli {
     jobs: Option<usize>,
     frames: Option<usize>,
     drive_seed: Option<u64>,
+    scenario: Option<NamedScenario>,
     csv_path: Option<String>,
     json_path: Option<String>,
 }
@@ -55,6 +60,7 @@ fn parse_cli() -> Cli {
         jobs: None,
         frames: None,
         drive_seed: None,
+        scenario: None,
         csv_path: None,
         json_path: None,
     };
@@ -72,6 +78,17 @@ fn parse_cli() -> Cli {
                 cli.frames = Some(frames);
             }
             "--drive-seed" => cli.drive_seed = Some(int_value_of(&mut it, "--drive-seed")),
+            "--scenario" => {
+                let raw = value_of(&mut it, "--scenario");
+                let scenario = NamedScenario::parse(&raw).unwrap_or_else(|| {
+                    let names: Vec<&str> = NamedScenario::ALL.iter().map(|s| s.name()).collect();
+                    usage_error(&format!(
+                        "--scenario expects one of {}, got '{raw}'",
+                        names.join(" | ")
+                    ))
+                });
+                cli.scenario = Some(scenario);
+            }
             "--csv" => cli.csv_path = Some(value_of(&mut it, "--csv")),
             "--json" => cli.json_path = Some(value_of(&mut it, "--json")),
             flag if flag.starts_with("--") => {
@@ -91,12 +108,17 @@ fn run_dse_with(cli: &Cli) {
     if let Some(seed) = cli.drive_seed {
         params.base_seed = seed;
     }
+    params.scenario = cli.scenario;
     // The pool clamps 0 to 1 internally; clamp here too so the banner below
     // reports the worker count that actually runs.
     let jobs = cli.jobs.unwrap_or_else(default_jobs).max(1);
     let result = run_dse_with_jobs(&params, jobs);
+    let drive = match cli.scenario {
+        Some(s) => format!("{s} scenario"),
+        None => "legacy i.i.d. drive".to_owned(),
+    };
     println!(
-        "\n=== dse ({jobs} worker threads) ===\n{}",
+        "\n=== dse ({jobs} worker threads, {drive}) ===\n{}",
         result.summary()
     );
     if let Some(path) = &cli.csv_path {

@@ -18,10 +18,17 @@
 //! results in index order — parallel output is bit-identical to a serial
 //! run (`tests/dse_integration.rs` asserts it).
 //!
+//! The drive itself is selectable: the legacy i.i.d. density-profile drive
+//! (the default, byte-stable across releases) or a scripted
+//! [`NamedScenario`] — a persistent world with events (stopped traffic,
+//! tunnels, crossing waves) whose consecutive frames share most active
+//! pillars. The sweep measures that temporal locality and exports it as the
+//! `mean_pillar_overlap` column.
+//!
 //! Entry points: [`run_dse`] / [`run_dse_with_jobs`] with [`DseParams`],
 //! surfaced as the `dse` experiment of the `spade-experiments` binary
 //! (which can also export the full grid as CSV/JSON via [`ReportTable`] and
-//! takes a `--jobs N` flag).
+//! takes `--jobs N` / `--scenario <name>` flags).
 
 use crate::pool::WorkerPool;
 use crate::workload::{model_run_on_frame, simulate_on, ModelRun, WorkloadScale};
@@ -32,7 +39,9 @@ use spade_core::{
 };
 use spade_nn::{ModelKind, PruningConfig};
 use spade_pointcloud::dataset::{DatasetKind, DatasetPreset};
-use spade_pointcloud::{DensityProfile, DriveFrame, DriveScenario, DriveScenarioConfig};
+use spade_pointcloud::{
+    DensityProfile, DriveFrame, DriveScenario, DriveScenarioConfig, NamedScenario,
+};
 use std::fmt::Write as _;
 
 /// The swept hardware axes. Every combination of the configuration axes
@@ -166,8 +175,14 @@ pub struct DseParams {
     pub num_frames: usize,
     /// Base seed of the drive scenario.
     pub base_seed: u64,
-    /// Density profile of the drive.
+    /// Density profile of the drive (used by the legacy i.i.d. drive when
+    /// no named scenario is selected).
     pub profile: DensityProfile,
+    /// Scripted drive scenario. `None` keeps the legacy i.i.d. drive over
+    /// `profile` (byte-identical to pre-scenario sweeps); `Some` replaces
+    /// profile and persistence with the named preset's (see
+    /// [`NamedScenario::config`]), still over `num_frames`/`base_seed`.
+    pub scenario: Option<NamedScenario>,
 }
 
 impl DseParams {
@@ -187,6 +202,7 @@ impl DseParams {
                     start: 0.5,
                     end: 2.0,
                 },
+                scenario: None,
             },
             WorkloadScale::Reduced => Self {
                 scale,
@@ -198,6 +214,26 @@ impl DseParams {
                     start: 0.5,
                     end: 2.0,
                 },
+                scenario: None,
+            },
+        }
+    }
+
+    /// The drive configuration the sweep runs over: the named scenario's
+    /// when one is selected, otherwise the legacy i.i.d. drive over
+    /// `profile`. A zero-frame drive would make every cell's mean 0.0 and
+    /// fill the frontier with fake perfect designs, so at least one frame is
+    /// always simulated.
+    #[must_use]
+    pub fn drive_config(&self) -> DriveScenarioConfig {
+        let num_frames = self.num_frames.max(1);
+        match self.scenario {
+            Some(scenario) => scenario.config(num_frames, self.base_seed),
+            None => DriveScenarioConfig {
+                num_frames,
+                base_seed: self.base_seed,
+                profile: self.profile,
+                ..DriveScenarioConfig::default()
             },
         }
     }
@@ -240,6 +276,11 @@ pub struct DseCell {
     pub area_mm2: f64,
     /// Mean DRAM traffic per frame (MiB).
     pub mean_dram_mib: f64,
+    /// Mean consecutive-frame active-pillar overlap (Jaccard) of the drive
+    /// this cell's workload ran over — the temporal locality a caching
+    /// backend could exploit. A property of the drive, so every cell of the
+    /// same workload shares the value; `0.0` for single-frame drives.
+    pub mean_pillar_overlap: f64,
     /// Whether this cell survives Pareto extraction for its workload.
     pub on_frontier: bool,
 }
@@ -293,6 +334,7 @@ fn preset_for(kind: ModelKind) -> DatasetPreset {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn mean_cell(
     workload: &'static str,
     accelerator: &str,
@@ -301,6 +343,7 @@ fn mean_cell(
     dataflow_enabled: bool,
     area_mm2: f64,
     perfs: &[NetworkPerf],
+    mean_pillar_overlap: f64,
 ) -> DseCell {
     let n = perfs.len().max(1) as f64;
     DseCell {
@@ -321,6 +364,7 @@ fn mean_cell(
             .map(|p| p.total_dram_bytes as f64 / (1024.0 * 1024.0))
             .sum::<f64>()
             / n,
+        mean_pillar_overlap,
         on_frontier: false,
     }
 }
@@ -353,10 +397,12 @@ fn compute_cell(
     models: &[ModelKind],
     configs: &[SpadeConfig],
     runs_by_model: &[Vec<ModelRun>],
+    overlap_by_model: &[f64],
 ) -> DseCell {
     let kind = models[item.model_idx];
     let config = &configs[item.config_idx];
     let runs = &runs_by_model[item.model_idx];
+    let overlap = overlap_by_model[item.model_idx];
     let sim_all = |acc: &dyn Accelerator| -> Vec<NetworkPerf> {
         runs.iter().map(|r| simulate_on(acc, r)).collect()
     };
@@ -374,6 +420,7 @@ fn compute_cell(
                 enabled,
                 spade_area(),
                 &sim_all(&acc),
+                overlap,
             )
         }
         CellKind::Dense => {
@@ -387,6 +434,7 @@ fn compute_cell(
                 true,
                 area,
                 &sim_all(&dense),
+                overlap,
             )
         }
         // SpConv2D-Acc and PointAcc carry their own sparsity hardware
@@ -402,6 +450,7 @@ fn compute_cell(
                 true,
                 spade_area(),
                 &sim_all(&spconv),
+                overlap,
             )
         }
         CellKind::PointAcc { label } => {
@@ -414,6 +463,7 @@ fn compute_cell(
                 true,
                 spade_area(),
                 &sim_all(&pacc),
+                overlap,
             )
         }
     }
@@ -438,9 +488,8 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
     let pool = WorkerPool::new(jobs);
     let configs = params.axes.expand_configs();
     let dataflow = dedup_axis(&params.axes.dataflow);
-    // A zero-frame drive would make every cell's mean 0.0 and fill the
-    // frontier with fake perfect designs; always simulate at least one frame.
-    let num_frames = params.num_frames.max(1);
+    let drive_cfg = params.drive_config();
+    let num_frames = drive_cfg.num_frames;
 
     // Stage 1 — per-frame workload construction, parallel over frames.
     // Drive frames depend only on the dataset preset, so models sharing a
@@ -450,28 +499,32 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
     // `ExecutionArena` across its frames (thread-local in
     // `workload::model_run_on_frame`), so pattern execution allocates no
     // per-layer scratch anywhere in the sweep.
-    let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>)> = Vec::new();
+    let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>, f64)> = Vec::new();
     let runs_by_model: Vec<Vec<ModelRun>> = params
         .models
         .iter()
         .map(|&kind| {
             let preset = preset_for(kind);
             let dataset = kind.dataset();
-            if !frames_by_dataset.iter().any(|(d, _)| *d == dataset) {
-                let scenario = DriveScenario::new(
-                    preset.clone(),
-                    DriveScenarioConfig {
-                        num_frames,
-                        base_seed: params.base_seed,
-                        profile: params.profile,
-                    },
-                );
-                let frames = pool.run(num_frames, |i| scenario.generate_frame(i));
-                frames_by_dataset.push((dataset, frames));
+            if !frames_by_dataset.iter().any(|(d, ..)| *d == dataset) {
+                let scenario = DriveScenario::new(preset.clone(), drive_cfg.clone());
+                // A persistent world evolves frame by frame, so its drive is
+                // generated sequentially (one pass, identical for any worker
+                // count); independent frames fan out across the pool and get
+                // their overlap metric annotated afterwards.
+                let frames = if drive_cfg.persistence.is_persistent() {
+                    scenario.frames()
+                } else {
+                    let mut frames = pool.run(num_frames, |i| scenario.generate_frame(i));
+                    DriveScenario::annotate_overlap(&mut frames);
+                    frames
+                };
+                let mean_overlap = DriveScenario::mean_overlap_of(&frames);
+                frames_by_dataset.push((dataset, frames, mean_overlap));
             }
             let frames = &frames_by_dataset
                 .iter()
-                .find(|(d, _)| *d == dataset)
+                .find(|(d, ..)| *d == dataset)
                 .expect("frames generated above")
                 .1;
             pool.run(num_frames, |i| {
@@ -479,11 +532,25 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
                     kind,
                     &preset,
                     &frames[i].frame,
-                    params.base_seed.wrapping_add(frames[i].index as u64 * 7919),
+                    // Distinct from the frame-generation stream: a model
+                    // run's RNG (pruning noise) must not replay the scene
+                    // randomness of the frame it runs on.
+                    drive_cfg.model_seed(frames[i].index),
                     params.scale,
                     PruningConfig::default(),
                 )
             })
+        })
+        .collect();
+    let overlap_by_model: Vec<f64> = params
+        .models
+        .iter()
+        .map(|&kind| {
+            frames_by_dataset
+                .iter()
+                .find(|(d, ..)| *d == kind.dataset())
+                .expect("frames generated above")
+                .2
         })
         .collect();
 
@@ -580,7 +647,13 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
     // Stage 3 — fan the work-list out across the pool and reassemble in
     // index order.
     let mut cells: Vec<DseCell> = pool.run(items.len(), |i| {
-        compute_cell(&items[i], &params.models, &configs, &runs_by_model)
+        compute_cell(
+            &items[i],
+            &params.models,
+            &configs,
+            &runs_by_model,
+            &overlap_by_model,
+        )
     });
 
     // Stage 4 — serial post-processing on the assembled grid: the Fig. 9
@@ -639,6 +712,7 @@ impl DseResult {
             "mean_energy_mj",
             "area_mm2",
             "mean_dram_mib",
+            "mean_pillar_overlap",
             "on_frontier",
         ]);
         for c in &self.cells {
@@ -656,6 +730,7 @@ impl DseResult {
                 c.mean_energy_mj.into(),
                 c.area_mm2.into(),
                 c.mean_dram_mib.into(),
+                c.mean_pillar_overlap.into(),
                 c.on_frontier.into(),
             ]);
         }
@@ -685,6 +760,17 @@ impl DseResult {
             self.num_frames,
             self.num_swept_axes,
         );
+        // Temporal locality of the drive each workload ran over (one value
+        // per workload — it is a property of the drive, not of the cell).
+        let mut seen: Vec<&str> = Vec::new();
+        let _ = write!(s, "drive temporal locality (mean pillar overlap):");
+        for c in &self.cells {
+            if !seen.contains(&c.workload) {
+                seen.push(c.workload);
+                let _ = write!(s, " {}={:.3}", c.workload, c.mean_pillar_overlap);
+            }
+        }
+        s.push('\n');
         let _ = writeln!(
             s,
             "Pareto frontier (latency/energy/area, {} of {} cells):",

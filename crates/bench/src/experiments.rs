@@ -71,8 +71,9 @@ pub fn all_experiment_ids() -> Vec<&'static str> {
 /// scenario, fanned out over `jobs` worker threads and printed as the
 /// Pareto-frontier summary. The output is identical for every `jobs` value
 /// (the pool reassembles cells in index order). Use the `spade-experiments`
-/// binary's `--jobs`/`--frames`/`--drive-seed`/`--csv`/`--json` flags to
-/// set the worker count, reshape the drive, or export the full grid.
+/// binary's `--jobs`/`--frames`/`--drive-seed`/`--scenario`/`--csv`/`--json`
+/// flags to set the worker count, reshape the drive, pick a scripted
+/// persistent scenario, or export the full grid.
 #[must_use]
 pub fn dse(scale: WorkloadScale, jobs: usize) -> String {
     crate::dse::run_dse_with_jobs(&crate::dse::DseParams::default_for(scale), jobs).summary()

@@ -84,8 +84,14 @@ pub fn evaluate_detections(
         for (gt, dets) in frames {
             let gt_boxes: Vec<&SceneObject> = gt.iter().filter(|o| o.class == class).collect();
             let mut matched = vec![false; gt_boxes.len()];
-            let mut dets: Vec<&Detection> = dets.iter().filter(|d| d.class == class).collect();
-            dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+            // Non-finite confidence scores carry no usable ranking signal:
+            // drop them up front (deterministically — the filter is
+            // order-preserving) instead of letting a NaN poison the sort.
+            let mut dets: Vec<&Detection> = dets
+                .iter()
+                .filter(|d| d.class == class && d.score.is_finite())
+                .collect();
+            dets.sort_by(|a, b| b.score.total_cmp(&a.score));
             for det in dets {
                 let mut best_iou = 0.0;
                 let mut best_idx = None;
@@ -127,11 +133,15 @@ pub fn evaluate_detections(
 }
 
 /// 40-point interpolated average precision from scored detections.
+///
+/// Scores are assumed finite (`evaluate_detections` filters non-finite
+/// confidences before matching); `total_cmp` keeps the sort total and
+/// panic-free regardless.
 fn average_precision(scored: &mut [(f64, bool)], total_gt: usize) -> f64 {
     if total_gt == 0 {
         return 0.0;
     }
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut precision_recall: Vec<(f64, f64)> = Vec::with_capacity(scored.len());
@@ -248,6 +258,29 @@ mod tests {
         let gt = vec![gt_car(10.0, 0.0)];
         let worse = evaluate_detections(&[(gt, dets)], IouKind::Bev);
         assert!(worse.map < 1.0);
+    }
+
+    #[test]
+    fn non_finite_scores_are_filtered_not_fatal() {
+        // Regression: a NaN confidence used to panic the sort via
+        // `partial_cmp().unwrap()`. Now NaN/±inf detections are dropped
+        // deterministically and the finite ones evaluate as usual.
+        let gt = vec![gt_car(10.0, 0.0), gt_car(20.0, 5.0)];
+        let dets = vec![
+            det_car(10.0, 0.0, f64::NAN),
+            det_car(10.0, 0.0, 0.9),
+            det_car(20.0, 5.0, f64::INFINITY),
+            det_car(20.0, 5.0, f64::NEG_INFINITY),
+        ];
+        let result = evaluate_detections(&[(gt.clone(), dets)], IouKind::Bev);
+        // Only the single finite detection counts: one of two cars found.
+        let only_finite = evaluate_detections(&[(gt, vec![det_car(10.0, 0.0, 0.9)])], IouKind::Bev);
+        assert_eq!(result, only_finite);
+        assert!(result.map > 0.0 && result.map < 1.0);
+        // All-non-finite detections evaluate to zero recall, not a panic.
+        let gt = vec![gt_car(10.0, 0.0)];
+        let result = evaluate_detections(&[(gt, vec![det_car(10.0, 0.0, f64::NAN)])], IouKind::Bev);
+        assert_eq!(result.map, 0.0);
     }
 
     #[test]

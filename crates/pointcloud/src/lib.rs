@@ -19,8 +19,13 @@
 //! * [`lidar`] — LiDAR-style point sampling from a scene.
 //! * [`dataset`] — KITTI-like and nuScenes-like presets (detection range,
 //!   pillar size, BEV grid shape, frame statistics).
-//! * [`drive`] — multi-frame drive scenarios with evolving object density
-//!   (the workload axis of the design-space exploration engine).
+//! * [`drive`] — multi-frame drive scenarios with evolving object density,
+//!   scripted events (stopped traffic, tunnels, crossing waves), and a
+//!   consecutive-frame pillar-overlap metric (the workload axis of the
+//!   design-space exploration engine).
+//! * [`world`] — frame-to-frame persistent world state: objects carry
+//!   per-class velocities, advance between frames, despawn out of range,
+//!   and spawn at scripted rates.
 //! * [`pillarize`] — point cloud → active pillar coordinates + per-pillar
 //!   point groups.
 //! * [`eval`] — detection matching, average precision (AP), and mAP.
@@ -54,9 +59,13 @@ pub mod object;
 pub mod pillarize;
 pub mod proxy;
 pub mod scene;
+pub mod world;
 
 pub use dataset::DatasetPreset;
-pub use drive::{DensityProfile, DriveFrame, DriveScenario, DriveScenarioConfig};
+pub use drive::{
+    DensityProfile, DriveEvent, DriveFrame, DriveScenario, DriveScenarioConfig, EventTimeline,
+    NamedScenario, ScenePersistence, TimedEvent,
+};
 pub use eval::{evaluate_detections, Detection, EvalResult};
 pub use geometry::{BoundingBox3, Point3};
 pub use lidar::LidarConfig;
@@ -64,3 +73,4 @@ pub use object::{ObjectClass, SceneObject};
 pub use pillarize::{PillarizationConfig, PillarizedCloud};
 pub use proxy::AccuracyProxy;
 pub use scene::{Scene, SceneConfig, SceneGenerator};
+pub use world::{PersistentWorld, WorldObject, WorldStep};

@@ -74,14 +74,61 @@ impl Default for LidarConfig {
 }
 
 /// Samples a point cloud from a scene. Deterministic for a given seed.
+///
+/// Object surface, ground, and clutter returns are all drawn from one RNG
+/// stream, so the output is a function of `(scene, config, seed)` alone.
 #[must_use]
 pub fn sample_scene(scene: &Scene, config: &LidarConfig, seed: u64) -> Vec<Point3> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5bad_c0de);
+    let mut points = Vec::new();
+    object_returns_into(scene, config, &mut rng, &mut points);
+    background_into(
+        scene.config().x_range,
+        scene.config().y_range,
+        config,
+        &mut rng,
+        &mut points,
+    );
+    points
+}
+
+/// Samples only the object surface returns of a scene, on its own seed
+/// stream. The persistent-world drive generator re-samples these every frame
+/// (objects move) while reusing one fixed background for the whole drive.
+#[must_use]
+pub fn sample_object_returns(scene: &Scene, config: &LidarConfig, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0b1e_c7ed);
+    let mut points = Vec::new();
+    object_returns_into(scene, config, &mut rng, &mut points);
+    points
+}
+
+/// Samples only the static background (ground carpet + clutter clusters) of
+/// a detection range, on its own seed stream. Deterministic for a given
+/// `(ranges, config, seed)`; the persistent-world drive generator samples
+/// this once per drive so consecutive frames share their background pillars.
+#[must_use]
+pub fn sample_background(
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    config: &LidarConfig,
+    seed: u64,
+) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba5e_11e5);
+    let mut points = Vec::new();
+    background_into(x_range, y_range, config, &mut rng, &mut points);
+    points
+}
+
+/// Object surface returns, appended to `points` from the caller's RNG.
+fn object_returns_into(
+    scene: &Scene,
+    config: &LidarConfig,
+    rng: &mut StdRng,
+    points: &mut Vec<Point3>,
+) {
     let (x_min, x_max) = scene.config().x_range;
     let (y_min, y_max) = scene.config().y_range;
-    let mut points = Vec::new();
-
-    // 1. Object surface returns.
     for obj in scene.objects() {
         let bbox = obj.bbox;
         let range = (bbox.cx * bbox.cx + bbox.cy * bbox.cy).sqrt().max(1.0);
@@ -123,7 +170,18 @@ pub fn sample_scene(scene: &Scene, config: &LidarConfig, seed: u64) -> Vec<Point
             }
         }
     }
+}
 
+/// Ground and clutter returns, appended to `points` from the caller's RNG.
+fn background_into(
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    config: &LidarConfig,
+    rng: &mut StdRng,
+    points: &mut Vec<Point3>,
+) {
+    let (x_min, x_max) = x_range;
+    let (y_min, y_max) = y_range;
     // 2. Ground returns: density falls with range from the sensor, which sits
     //    at the origin. Sample ranges with a decaying distribution.
     for _ in 0..config.ground_points {
@@ -153,8 +211,6 @@ pub fn sample_scene(scene: &Scene, config: &LidarConfig, seed: u64) -> Vec<Point
             }
         }
     }
-
-    points
 }
 
 #[cfg(test)]
@@ -223,6 +279,24 @@ mod tests {
             .filter(|p| p.y.abs() < 5.0 && p.x >= 55.0 && p.x < 65.0)
             .count();
         assert!(near > far, "near={near} far={far}");
+    }
+
+    #[test]
+    fn split_samplers_are_deterministic_and_disjoint_streams() {
+        let scene = test_scene();
+        let cfg = LidarConfig::kitti_like();
+        let a = sample_object_returns(&scene, &cfg, 5);
+        let b = sample_object_returns(&scene, &cfg, 5);
+        assert_eq!(a, b);
+        let (xr, yr) = (scene.config().x_range, scene.config().y_range);
+        let g = sample_background(xr, yr, &cfg, 5);
+        let h = sample_background(xr, yr, &cfg, 5);
+        assert_eq!(g, h);
+        assert!(!a.is_empty() && !g.is_empty());
+        // The split samplers run on their own salted streams, so neither
+        // reproduces the head of the combined `sample_scene` stream.
+        let combined = sample_scene(&scene, &cfg, 5);
+        assert_ne!(combined[0], a[0]);
     }
 
     #[test]

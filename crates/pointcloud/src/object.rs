@@ -55,6 +55,27 @@ impl ObjectClass {
             ObjectClass::Truck => 50.0,
         }
     }
+
+    /// Typical `(min, max)` ground speed in m/s for a moving agent of this
+    /// class in urban traffic, used by the persistent-world drive generator
+    /// to advance objects between frames.
+    #[must_use]
+    pub const fn typical_speed_mps(self) -> (f64, f64) {
+        match self {
+            ObjectClass::Car => (4.0, 14.0),
+            ObjectClass::Pedestrian => (0.5, 1.8),
+            ObjectClass::Cyclist => (2.5, 7.0),
+            ObjectClass::Truck => (3.0, 11.0),
+        }
+    }
+
+    /// Upper bound on this class's ground speed (m/s) — the per-frame
+    /// displacement of a persistent-world object never exceeds
+    /// `max_speed_mps() * dt`.
+    #[must_use]
+    pub const fn max_speed_mps(self) -> f64 {
+        self.typical_speed_mps().1
+    }
 }
 
 impl fmt::Display for ObjectClass {
@@ -141,5 +162,16 @@ mod tests {
         for c in ObjectClass::ALL {
             assert!(c.point_density() > 0.0);
         }
+    }
+
+    #[test]
+    fn speed_ranges_are_ordered_and_positive() {
+        for c in ObjectClass::ALL {
+            let (lo, hi) = c.typical_speed_mps();
+            assert!(lo > 0.0 && hi >= lo);
+            assert_eq!(c.max_speed_mps(), hi);
+        }
+        // Vehicles outrun pedestrians.
+        assert!(ObjectClass::Car.max_speed_mps() > ObjectClass::Pedestrian.max_speed_mps());
     }
 }

@@ -122,6 +122,37 @@ impl PillarizedCloud {
         self.num_active() as f64 / self.grid.num_cells() as f64
     }
 
+    /// Active-pillar overlap with another pillarisation: the Jaccard index
+    /// `|A ∩ B| / |A ∪ B|` of the two active-coordinate sets. Two clouds
+    /// with no active pillars are identical (1.0). Both coordinate lists are
+    /// CPR-sorted by construction, so the intersection is one linear merge.
+    ///
+    /// This is the temporal-locality metric of a drive: the overlap between
+    /// consecutive frames is the fraction of the working set a caching
+    /// backend could reuse frame to frame.
+    #[must_use]
+    pub fn pillar_overlap(&self, other: &PillarizedCloud) -> f64 {
+        let (a, b) = (&self.active_coords, &other.active_coords);
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let union = a.len() + b.len() - inter;
+        inter as f64 / union as f64
+    }
+
     /// Builds a pattern-only CPR tensor (all features 1.0) with the given
     /// channel count. Useful when only the sparsity pattern matters.
     /// `active_coords` is CPR-sorted by construction, so this takes the
@@ -227,5 +258,26 @@ mod tests {
         let pc = pillarize(&[], &PillarizationConfig::kitti_like());
         assert_eq!(pc.num_active(), 0);
         assert_eq!(pc.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn pillar_overlap_is_the_jaccard_of_active_sets() {
+        let cfg = PillarizationConfig::kitti_like();
+        let a = pillarize(
+            &[Point3::new(5.0, 5.0, 0.0), Point3::new(30.0, -20.0, 0.0)],
+            &cfg,
+        );
+        let b = pillarize(
+            &[Point3::new(5.0, 5.0, 0.0), Point3::new(50.0, 10.0, 0.0)],
+            &cfg,
+        );
+        // One shared pillar, three in the union.
+        assert!((a.pillar_overlap(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.pillar_overlap(&a), 1.0);
+        // Symmetric; disjoint clouds overlap 0; empty-vs-empty is identical.
+        assert_eq!(a.pillar_overlap(&b), b.pillar_overlap(&a));
+        let empty = pillarize(&[], &cfg);
+        assert_eq!(a.pillar_overlap(&empty), 0.0);
+        assert_eq!(empty.pillar_overlap(&empty), 1.0);
     }
 }

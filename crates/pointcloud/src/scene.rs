@@ -54,6 +54,52 @@ impl SceneConfig {
             min_separation: 2.5,
         }
     }
+
+    /// Samples an object class from `class_weights` (one `gen_range` draw).
+    ///
+    /// Shared by the i.i.d. [`SceneGenerator`] and the persistent
+    /// [`crate::world::PersistentWorld`], so the two drive modes keep an
+    /// identical class mix.
+    pub(crate) fn sample_class(&self, rng: &mut StdRng) -> ObjectClass {
+        let total: f64 = self.class_weights.iter().sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (i, w) in self.class_weights.iter().enumerate() {
+            if x < *w {
+                return ObjectClass::ALL[i];
+            }
+            x -= w;
+        }
+        ObjectClass::Car
+    }
+
+    /// Draws a y position, biased towards a road corridor around y = 0 for
+    /// half of the samples so pillars cluster like a driving scene (one
+    /// `gen_bool` plus one `gen_range` draw). The corridor clamp keeps the
+    /// half-open `y < y_max` contract even when the range is narrower than
+    /// the corridor (`next_down`, not the `- EPSILON` no-op it replaces).
+    pub(crate) fn corridor_biased_y(&self, rng: &mut StdRng) -> f64 {
+        if rng.gen_bool(0.5) {
+            rng.gen_range(-8.0f64..8.0)
+                .clamp(self.y_range.0, self.y_range.1.next_down())
+        } else {
+            rng.gen_range(self.y_range.0..self.y_range.1)
+        }
+    }
+
+    /// Whether a candidate centre at `(x, y)` clears `min_separation` from
+    /// every centre in `others`.
+    pub(crate) fn clears_separation(
+        &self,
+        others: impl Iterator<Item = (f64, f64)>,
+        x: f64,
+        y: f64,
+    ) -> bool {
+        let mut others = others;
+        !others.any(|(ox, oy)| {
+            let (dx, dy) = (ox - x, oy - y);
+            (dx * dx + dy * dy).sqrt() < self.min_separation
+        })
+    }
 }
 
 impl Default for SceneConfig {
@@ -134,30 +180,20 @@ impl SceneGenerator {
         let mut attempts = 0;
         while objects.len() < n && attempts < n * 50 {
             attempts += 1;
-            let class = self.sample_class();
+            let class = self.config.sample_class(&mut self.rng);
             let x = self
                 .rng
                 .gen_range(self.config.x_range.0..self.config.x_range.1);
-            // Bias object placement towards a road corridor around y = 0 for
-            // half of the samples so pillars cluster like a driving scene.
-            let y = if self.rng.gen_bool(0.5) {
-                self.rng
-                    .gen_range(-8.0f64..8.0)
-                    .clamp(self.config.y_range.0, self.config.y_range.1 - f64::EPSILON)
-            } else {
-                self.rng
-                    .gen_range(self.config.y_range.0..self.config.y_range.1)
-            };
+            let y = self.config.corridor_biased_y(&mut self.rng);
             let yaw = self
                 .rng
                 .gen_range(-std::f64::consts::PI..std::f64::consts::PI);
             let candidate = SceneObject::at(class, x, y, yaw);
-            let too_close = objects.iter().any(|o| {
-                let dx = o.bbox.cx - candidate.bbox.cx;
-                let dy = o.bbox.cy - candidate.bbox.cy;
-                (dx * dx + dy * dy).sqrt() < self.config.min_separation
-            });
-            if !too_close {
+            if self.config.clears_separation(
+                objects.iter().map(|o| (o.bbox.cx, o.bbox.cy)),
+                candidate.bbox.cx,
+                candidate.bbox.cy,
+            ) {
                 objects.push(candidate);
             }
         }
@@ -170,18 +206,6 @@ impl SceneGenerator {
     /// Generates a batch of scenes.
     pub fn generate_batch(&mut self, count: usize) -> Vec<Scene> {
         (0..count).map(|_| self.generate()).collect()
-    }
-
-    fn sample_class(&mut self) -> ObjectClass {
-        let total: f64 = self.config.class_weights.iter().sum();
-        let mut x = self.rng.gen_range(0.0..total);
-        for (i, w) in self.config.class_weights.iter().enumerate() {
-            if x < *w {
-                return ObjectClass::ALL[i];
-            }
-            x -= w;
-        }
-        ObjectClass::Car
     }
 }
 

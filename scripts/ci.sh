@@ -5,7 +5,8 @@
 #   1. cargo fmt --check        — formatting
 #   2. cargo clippy -D warnings — lints, all targets
 #   3. cargo test -q            — unit + integration + property + doc tests
-#   4. dse smoke with --jobs 4  — the parallel sweep path, reduced grid
+#   4. dse smoke with --jobs 4  — the parallel sweep path, reduced grid,
+#                                 legacy drive + one scripted scenario
 #   5. perf smoke               — reduced dse (release) vs committed reference
 #   6. cargo bench --no-run     — all 13 figure benches must compile
 #   7. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
@@ -24,6 +25,9 @@ cargo test -q --workspace
 
 echo "==> dse smoke (reduced grid, 4 worker threads)"
 cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4
+
+echo "==> dse smoke (scripted stop-and-go scenario, persistent world)"
+cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --scenario stop-and-go
 
 echo "==> perf smoke (release reduced dse vs committed reference)"
 scripts/perf_smoke.sh
