@@ -15,6 +15,41 @@ use spade_core::{
 use spade_nn::graph::LayerWorkload;
 use spade_nn::rulegen::RuleGenMethod;
 use spade_sim::{DirectMappedCache, EnergyBreakdown, EnergyModel};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Simulates the direct-mapped cache walk of the statistical gather model
+/// and memoises the miss count per thread.
+///
+/// The walk's address stream is a pure function of the key — `i * c + pass *
+/// 7 * line` for every input index and kernel-row pass — so the miss count
+/// depends only on `(cache_kib, cache_line, inputs, c, passes)`, not on the
+/// coordinates themselves. Multi-frame sweeps simulate the same layer shape
+/// under many design points (and, on temporally coherent drives, many frames
+/// share layer shapes exactly), so the memo turns the dominant PointAcc
+/// simulation cost into a lookup while staying bit-identical to the direct
+/// walk.
+fn cache_walk_misses(cache_kib: u64, cache_line: u64, inputs: usize, c: u64, passes: u64) -> u64 {
+    type WalkKey = (u64, u64, usize, u64, u64);
+    thread_local! {
+        static MEMO: RefCell<HashMap<WalkKey, u64>> = RefCell::new(HashMap::new());
+    }
+    MEMO.with_borrow_mut(|memo| {
+        *memo
+            .entry((cache_kib, cache_line, inputs, c, passes))
+            .or_insert_with(|| {
+                let mut cache = DirectMappedCache::new(cache_kib, cache_line);
+                let mut misses: u64 = 0;
+                for pass in 0..passes {
+                    for i in 0..inputs as u64 {
+                        let addr = i * c + pass * 7 * cache_line;
+                        misses += cache.access_range(addr, c);
+                    }
+                }
+                misses
+            })
+    })
+}
 
 /// The PointAcc performance model.
 #[derive(Debug, Clone)]
@@ -84,20 +119,19 @@ impl PointAccModel {
 
         // Cache-based gather: walk the rules in output order; each rule reads
         // its input pillar vector through the direct-mapped cache.
-        let mut cache = DirectMappedCache::new(self.cache_kib, self.cache_line);
-        let mut misses: u64 = 0;
         // Model the access stream statistically at the pillar granularity: the
         // rules touch inputs in a window that slides with the output index, so
         // inputs near window boundaries are evicted and re-fetched. We walk
         // the actual input coordinates once per kernel row group (3 passes for
         // a 3x3 kernel), which reproduces the ~20% re-fetch the paper reports.
         let passes = (workload.spec.kernel.kh as u64).max(1);
-        for pass in 0..passes {
-            for (i, _) in workload.input_coords.iter().enumerate() {
-                let addr = (i as u64) * c + pass * 7 * self.cache_line;
-                misses += cache.access_range(addr, c);
-            }
-        }
+        let misses = cache_walk_misses(
+            self.cache_kib,
+            self.cache_line,
+            workload.input_coords.len(),
+            c,
+            passes,
+        );
         let refetch_bytes = misses * self.cache_line;
         let base_bytes = a * c + q * m + workload.spec.kernel.num_taps() as u64 * c * m;
         let dram_bytes = base_bytes + refetch_bytes.saturating_sub(a * c).min(base_bytes / 2);
@@ -256,6 +290,24 @@ mod tests {
         let spade = SpadeAccelerator::new(SpadeConfig::high_end()).simulate_network(&w, enc);
         let pacc = PointAccModel::new(SpadeConfig::high_end()).simulate_network(&w, enc);
         assert!(pacc.total_dram_bytes > spade.total_dram_bytes);
+    }
+
+    #[test]
+    fn memoised_cache_walk_matches_a_direct_walk() {
+        for &(kib, line, n, c, passes) in
+            &[(64u64, 64u64, 500u64, 64u64, 3u64), (128, 64, 1000, 128, 1)]
+        {
+            let mut cache = DirectMappedCache::new(kib, line);
+            let mut misses: u64 = 0;
+            for pass in 0..passes {
+                for i in 0..n {
+                    misses += cache.access_range(i * c + pass * 7 * line, c);
+                }
+            }
+            assert_eq!(cache_walk_misses(kib, line, n as usize, c, passes), misses);
+            // The second call is served from the memo and must agree.
+            assert_eq!(cache_walk_misses(kib, line, n as usize, c, passes), misses);
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! spade-experiments dse --jobs 4                    # sweep on 4 worker threads
 //! spade-experiments dse --frames 8 --drive-seed 7   # reshape the drive
 //! spade-experiments dse --scenario stop-and-go      # scripted persistent drive
+//! spade-experiments dse --scenario urban --delta    # temporal delta execution
 //! spade-experiments dse --csv pareto.csv            # export the grid as CSV
 //! spade-experiments dse --json pareto.json          # ... or as JSON
 //! ```
@@ -19,7 +20,11 @@
 //! `--jobs` defaults to the machine's available parallelism; the sweep
 //! result is bit-identical for every worker count. `--scenario` selects a
 //! scripted drive (`constant | urban | stop-and-go | tunnel`); without it
-//! the sweep runs the legacy i.i.d. density-ramp drive.
+//! the sweep runs the legacy i.i.d. density-ramp drive. `--delta` executes
+//! each drive through the temporal delta path (patching the previous frame's
+//! rule structures instead of regenerating them; byte-identical results,
+//! adds the `frames_delta_executed` / `delta_speedup` export columns);
+//! `--no-delta` restores the full-sweep default.
 
 use spade_bench::dse::{run_dse_with_jobs, DseParams};
 use spade_bench::{default_jobs, run_experiment, WorkloadScale};
@@ -32,6 +37,7 @@ struct Cli {
     frames: Option<usize>,
     drive_seed: Option<u64>,
     scenario: Option<NamedScenario>,
+    delta: Option<bool>,
     csv_path: Option<String>,
     json_path: Option<String>,
 }
@@ -61,6 +67,7 @@ fn parse_cli() -> Cli {
         frames: None,
         drive_seed: None,
         scenario: None,
+        delta: None,
         csv_path: None,
         json_path: None,
     };
@@ -89,6 +96,8 @@ fn parse_cli() -> Cli {
                 });
                 cli.scenario = Some(scenario);
             }
+            "--delta" => cli.delta = Some(true),
+            "--no-delta" => cli.delta = Some(false),
             "--csv" => cli.csv_path = Some(value_of(&mut it, "--csv")),
             "--json" => cli.json_path = Some(value_of(&mut it, "--json")),
             flag if flag.starts_with("--") => {
@@ -109,6 +118,9 @@ fn run_dse_with(cli: &Cli) {
         params.base_seed = seed;
     }
     params.scenario = cli.scenario;
+    if let Some(delta) = cli.delta {
+        params.delta = delta;
+    }
     // The pool clamps 0 to 1 internally; clamp here too so the banner below
     // reports the worker count that actually runs.
     let jobs = cli.jobs.unwrap_or_else(default_jobs).max(1);
@@ -117,8 +129,13 @@ fn run_dse_with(cli: &Cli) {
         Some(s) => format!("{s} scenario"),
         None => "legacy i.i.d. drive".to_owned(),
     };
+    let exec = if params.delta {
+        ", delta execution"
+    } else {
+        ""
+    };
     println!(
-        "\n=== dse ({jobs} worker threads, {drive}) ===\n{}",
+        "\n=== dse ({jobs} worker threads, {drive}{exec}) ===\n{}",
         result.summary()
     );
     if let Some(path) = &cli.csv_path {

@@ -31,13 +31,15 @@
 //! takes `--jobs N` / `--scenario <name>` flags).
 
 use crate::pool::WorkerPool;
-use crate::workload::{model_run_on_frame, simulate_on, ModelRun, WorkloadScale};
+use crate::workload::{
+    model_run_on_frame, model_run_on_frame_delta, simulate_on, ModelRun, WorkloadScale,
+};
 use spade_baselines::{DenseAccelerator, PointAccModel, SpConv2dAccelerator};
 use spade_core::{
     Accelerator, AcceleratorReport, DataflowOptions, NetworkPerf, ReportTable, SpadeAccelerator,
     SpadeConfig,
 };
-use spade_nn::{ModelKind, PruningConfig};
+use spade_nn::{DeltaPolicy, DeltaStats, FrameDeltaState, ModelKind, PruningConfig};
 use spade_pointcloud::dataset::{DatasetKind, DatasetPreset};
 use spade_pointcloud::{
     DensityProfile, DriveFrame, DriveScenario, DriveScenarioConfig, NamedScenario,
@@ -183,6 +185,14 @@ pub struct DseParams {
     /// profile and persistence with the named preset's (see
     /// [`NamedScenario::config`]), still over `num_frames`/`base_seed`.
     pub scenario: Option<NamedScenario>,
+    /// Execute each drive through the temporal delta path
+    /// ([`model_run_on_frame_delta`]): consecutive frames patch the previous
+    /// frame's rule structures instead of regenerating them. The per-frame
+    /// workloads — and therefore every simulated cell — are byte-identical
+    /// to a full-sweep run; only the rule-generation work changes. Adds the
+    /// `frames_delta_executed` / `delta_speedup` columns to the exported
+    /// grid.
+    pub delta: bool,
 }
 
 impl DseParams {
@@ -203,6 +213,7 @@ impl DseParams {
                     end: 2.0,
                 },
                 scenario: None,
+                delta: false,
             },
             WorkloadScale::Reduced => Self {
                 scale,
@@ -215,6 +226,7 @@ impl DseParams {
                     end: 2.0,
                 },
                 scenario: None,
+                delta: false,
             },
         }
     }
@@ -281,6 +293,15 @@ pub struct DseCell {
     /// backend could exploit. A property of the drive, so every cell of the
     /// same workload shares the value; `0.0` for single-frame drives.
     pub mean_pillar_overlap: f64,
+    /// Frames of this cell's workload that executed through the delta path
+    /// (patching the previous frame's rule structures) rather than a full
+    /// sweep. A property of the drive run, so every cell of the same
+    /// workload shares the value; `0` when delta execution is off.
+    pub frames_delta_executed: usize,
+    /// Modelled rule-generation speedup of the delta run over a full-sweep
+    /// run ([`DeltaStats::modelled_speedup`]): full-equivalent output rows
+    /// divided by rows actually swept. `1.0` when delta execution is off.
+    pub delta_speedup: f64,
     /// Whether this cell survives Pareto extraction for its workload.
     pub on_frontier: bool,
 }
@@ -302,6 +323,11 @@ pub struct DseResult {
     pub spade_dense_wins: usize,
     /// Number of `(workload, configuration)` comparisons made for the tally.
     pub spade_dense_comparisons: usize,
+    /// Whether the drives were executed through the temporal delta path.
+    pub delta: bool,
+    /// Delta-execution statistics merged across every model's drive (all
+    /// zeros when `delta` is off).
+    pub delta_stats: DeltaStats,
 }
 
 /// Marks the Pareto-optimal points among `points` (minimising every
@@ -365,6 +391,8 @@ fn mean_cell(
             .sum::<f64>()
             / n,
         mean_pillar_overlap,
+        frames_delta_executed: 0,
+        delta_speedup: 1.0,
         on_frontier: false,
     }
 }
@@ -398,16 +426,18 @@ fn compute_cell(
     configs: &[SpadeConfig],
     runs_by_model: &[Vec<ModelRun>],
     overlap_by_model: &[f64],
+    delta_by_model: &[(usize, f64)],
 ) -> DseCell {
     let kind = models[item.model_idx];
     let config = &configs[item.config_idx];
     let runs = &runs_by_model[item.model_idx];
     let overlap = overlap_by_model[item.model_idx];
+    let (frames_delta, delta_speedup) = delta_by_model[item.model_idx];
     let sim_all = |acc: &dyn Accelerator| -> Vec<NetworkPerf> {
         runs.iter().map(|r| simulate_on(acc, r)).collect()
     };
     let spade_area = || AcceleratorReport::for_spade("SPADE", config).total_mm2();
-    match &item.kind {
+    let mut cell = match &item.kind {
         CellKind::Spade(opts) => {
             let enabled = opts.weight_grouping || opts.ganged_scatter || opts.adaptive_tiling;
             let acc = SpadeAccelerator::with_options(*config, *opts);
@@ -466,7 +496,10 @@ fn compute_cell(
                 overlap,
             )
         }
-    }
+    };
+    cell.frames_delta_executed = frames_delta;
+    cell.delta_speedup = delta_speedup;
+    cell
 }
 
 /// Runs the sweep serially — shorthand for [`run_dse_with_jobs`] with one
@@ -500,6 +533,7 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
     // `workload::model_run_on_frame`), so pattern execution allocates no
     // per-layer scratch anywhere in the sweep.
     let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>, f64)> = Vec::new();
+    let mut delta_stats_by_model: Vec<DeltaStats> = Vec::new();
     let runs_by_model: Vec<Vec<ModelRun>> = params
         .models
         .iter()
@@ -527,19 +561,47 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
                 .find(|(d, ..)| *d == dataset)
                 .expect("frames generated above")
                 .1;
-            pool.run(num_frames, |i| {
-                model_run_on_frame(
-                    kind,
-                    &preset,
-                    &frames[i].frame,
-                    // Distinct from the frame-generation stream: a model
-                    // run's RNG (pruning noise) must not replay the scene
-                    // randomness of the frame it runs on.
-                    drive_cfg.model_seed(frames[i].index),
-                    params.scale,
-                    PruningConfig::default(),
-                )
-            })
+            // A model run's RNG (pruning noise) is seeded distinctly from the
+            // frame-generation stream — it must not replay the scene
+            // randomness of the frame it runs on — and held drive-stable on
+            // persistent worlds (`pruning_seed`) so the pruned layers inherit
+            // the scene's temporal coherence.
+            if params.delta {
+                // The delta path is stateful across a drive's frames, so one
+                // model's frames run sequentially in order; models (and the
+                // design-point fan-out of stage 3) still parallelise, and the
+                // per-frame results are byte-identical to the pooled full
+                // sweeps either way.
+                let mut state = FrameDeltaState::new(DeltaPolicy::default());
+                let runs = frames
+                    .iter()
+                    .map(|f| {
+                        model_run_on_frame_delta(
+                            kind,
+                            &preset,
+                            &f.frame,
+                            drive_cfg.pruning_seed(f.index),
+                            params.scale,
+                            PruningConfig::default(),
+                            &mut state,
+                        )
+                    })
+                    .collect();
+                delta_stats_by_model.push(state.stats());
+                runs
+            } else {
+                delta_stats_by_model.push(DeltaStats::default());
+                pool.run(num_frames, |i| {
+                    model_run_on_frame(
+                        kind,
+                        &preset,
+                        &frames[i].frame,
+                        drive_cfg.pruning_seed(frames[i].index),
+                        params.scale,
+                        PruningConfig::default(),
+                    )
+                })
+            }
         })
         .collect();
     let overlap_by_model: Vec<f64> = params
@@ -553,6 +615,14 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
                 .2
         })
         .collect();
+    let delta_by_model: Vec<(usize, f64)> = delta_stats_by_model
+        .iter()
+        .map(|s| (s.frames_delta, s.modelled_speedup()))
+        .collect();
+    let mut delta_stats = DeltaStats::default();
+    for s in &delta_stats_by_model {
+        delta_stats.merge(s);
+    }
 
     // Stage 2 — build the indexed work-list. Cell order is canonical
     // (model, then configuration, then SPADE/Dense/SpConv2D/PointAcc), so
@@ -653,6 +723,7 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
             &configs,
             &runs_by_model,
             &overlap_by_model,
+            &delta_by_model,
         )
     });
 
@@ -685,6 +756,8 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
         num_swept_axes: params.axes.num_swept_axes(),
         spade_dense_wins: wins,
         spade_dense_comparisons: duels.len(),
+        delta: params.delta,
+        delta_stats,
     }
 }
 
@@ -695,10 +768,13 @@ impl DseResult {
         self.cells.iter().filter(|c| c.on_frontier).collect()
     }
 
-    /// The full grid as a [`ReportTable`] (one row per cell).
+    /// The full grid as a [`ReportTable`] (one row per cell). Delta-enabled
+    /// runs append the `frames_delta_executed` / `delta_speedup` columns;
+    /// full-sweep runs keep the legacy column set, so pre-delta exports stay
+    /// byte-identical.
     #[must_use]
     pub fn to_table(&self) -> ReportTable {
-        let mut t = ReportTable::new(vec![
+        let mut headers = vec![
             "workload",
             "accelerator",
             "design",
@@ -714,9 +790,14 @@ impl DseResult {
             "mean_dram_mib",
             "mean_pillar_overlap",
             "on_frontier",
-        ]);
+        ];
+        if self.delta {
+            headers.push("frames_delta_executed");
+            headers.push("delta_speedup");
+        }
+        let mut t = ReportTable::new(headers);
         for c in &self.cells {
-            t.push_row(vec![
+            let mut row: Vec<spade_core::ReportValue> = vec![
                 c.workload.into(),
                 c.accelerator.clone().into(),
                 c.design.clone().into(),
@@ -732,7 +813,12 @@ impl DseResult {
                 c.mean_dram_mib.into(),
                 c.mean_pillar_overlap.into(),
                 c.on_frontier.into(),
-            ]);
+            ];
+            if self.delta {
+                row.push(c.frames_delta_executed.into());
+                row.push(c.delta_speedup.into());
+            }
+            t.push_row(row);
         }
         t
     }
@@ -771,6 +857,18 @@ impl DseResult {
             }
         }
         s.push('\n');
+        if self.delta {
+            let _ = writeln!(
+                s,
+                "delta execution: {}/{} frames patched, {}/{}/{} layers reused/patched/full, modelled rulegen speedup {:.2}x",
+                self.delta_stats.frames_delta,
+                self.delta_stats.frames_total,
+                self.delta_stats.layers_reused,
+                self.delta_stats.layers_patched,
+                self.delta_stats.layers_full,
+                self.delta_stats.modelled_speedup(),
+            );
+        }
         let _ = writeln!(
             s,
             "Pareto frontier (latency/energy/area, {} of {} cells):",

@@ -18,6 +18,7 @@
 use crate::arena::ExecutionArena;
 use crate::conv::{ConvKind, LayerSpec};
 use crate::pruning::{ImportanceModel, PruningConfig, VectorPruner};
+use crate::rulegen::delta::{changed_fraction, FrameDeltaState, LayerDeltaCache};
 use serde::{Deserialize, Serialize};
 use spade_pointcloud::pillarize::PillarizationConfig;
 use spade_pointcloud::Scene;
@@ -229,6 +230,55 @@ pub fn execute_pattern_with_arena(
     ctx: &ExecutionContext<'_>,
     arena: &mut ExecutionArena,
 ) -> (NetworkTrace, Vec<LayerWorkload>) {
+    execute_pattern_inner(spec, initial_coords, grid, encoder_macs, ctx, arena, None)
+}
+
+/// [`execute_pattern_with_arena`] with temporal delta execution: feed
+/// consecutive frames of **one** drive, in order, through the same
+/// [`FrameDeltaState`] and layers whose inputs barely changed are served by
+/// row-splicing the previous frame's outputs ([`crate::rulegen::delta`])
+/// instead of re-sweeping every output row.
+///
+/// The result is byte-identical to [`execute_pattern_with_arena`] on every
+/// frame: the delta path shares this single executor body with the full
+/// path, differing only in *how* each layer's dilated set and rule count
+/// are produced (row splice vs full sweep — pinned equal by the delta
+/// property tests), never in what is derived from them. Frames that changed
+/// too much (per [`crate::rulegen::delta::DeltaPolicy`]), the first frame,
+/// and network/grid switches automatically fall back to full sweeps while
+/// still recording the caches for the next frame. [`FrameDeltaState::stats`]
+/// reports what the delta path did.
+#[must_use]
+pub fn execute_pattern_delta(
+    spec: &NetworkSpec,
+    initial_coords: &[PillarCoord],
+    grid: GridShape,
+    encoder_macs: u64,
+    ctx: &ExecutionContext<'_>,
+    arena: &mut ExecutionArena,
+    state: &mut FrameDeltaState,
+) -> (NetworkTrace, Vec<LayerWorkload>) {
+    execute_pattern_inner(
+        spec,
+        initial_coords,
+        grid,
+        encoder_macs,
+        ctx,
+        arena,
+        Some(state),
+    )
+}
+
+/// The one executor body behind both the full and delta entry points.
+fn execute_pattern_inner(
+    spec: &NetworkSpec,
+    initial_coords: &[PillarCoord],
+    grid: GridShape,
+    encoder_macs: u64,
+    ctx: &ExecutionContext<'_>,
+    arena: &mut ExecutionArena,
+    mut delta: Option<&mut FrameDeltaState>,
+) -> (NetworkTrace, Vec<LayerWorkload>) {
     let pruner = VectorPruner::new(ctx.pruning);
     // Layers always produce CPR-ordered in-bounds sets, but the encoder
     // output arrives from the caller: normalise it once up front (the common
@@ -246,6 +296,37 @@ pub fn execute_pattern_with_arena(
         arena.scratch.dedup();
         Arc::from(&arena.scratch[..])
     };
+    // Frame-level delta gate: the delta path runs only when the caches hold
+    // the same network on the same grid and the frame-to-frame change stays
+    // within the policy threshold. Anything else (first frame, i.i.d. drive,
+    // scene cut, model switch) falls back to full sweeps — which still
+    // *record* the caches so the next frame can go incremental.
+    let mut frame_delta = false;
+    if let Some(state) = delta.as_deref_mut() {
+        state.stats.frames_total += 1;
+        let compatible = state.grid == Some(grid) && state.num_layers == Some(spec.layers.len());
+        if !compatible {
+            state.invalidate();
+            state.grid = Some(grid);
+            state.num_layers = Some(spec.layers.len());
+            state
+                .layers
+                .resize_with(spec.layers.len(), LayerDeltaCache::default);
+        }
+        if let Some(prev) = &state.prev_initial {
+            if compatible
+                && state.policy.accepts(changed_fraction(prev, &initial))
+                && state
+                    .layers
+                    .iter()
+                    .zip(&spec.layers)
+                    .all(|(c, l)| l.spec.kind == ConvKind::Dense || c.is_populated())
+            {
+                frame_delta = true;
+                state.stats.frames_delta += 1;
+            }
+        }
+    }
     let mut outputs: Vec<(GridShape, Arc<[PillarCoord]>)> = Vec::with_capacity(spec.layers.len());
     let mut traces = Vec::with_capacity(spec.layers.len());
     let mut workloads = Vec::with_capacity(spec.layers.len());
@@ -267,7 +348,7 @@ pub fn execute_pattern_with_arena(
         .map(|m| initial.iter().filter(|c| m.is_foreground(**c)).count());
     let mut pruned_foreground_ratio: Vec<f64> = Vec::new();
 
-    for layer in &spec.layers {
+    for (li, layer) in spec.layers.iter().enumerate() {
         let (in_grid, mut in_coords): (GridShape, Arc<[PillarCoord]>) = match &layer.input {
             LayerInput::Previous => outputs
                 .last()
@@ -295,20 +376,96 @@ pub fn execute_pattern_with_arena(
         // One fused sweep per layer produces the dilated output set and the
         // rule count together (dense layers need neither sweep: their output
         // set is the whole grid and their rule count is closed-form;
-        // submanifold layers keep their input set as the output set).
+        // submanifold layers keep their input set as the output set). With a
+        // delta state, the sweep is served incrementally: a layer whose
+        // input is unchanged reuses last frame's result wholesale, a changed
+        // input re-sweeps only the output rows whose halo band is dirty, and
+        // full (fallback) frames record the row structure for the next one.
         let (dilated, rules): (Arc<[PillarCoord]>, u64) = match sp.kind {
             ConvKind::Dense => (
                 arena.dense_cells(out_grid),
                 out_grid.num_cells() as u64 * sp.kernel.num_taps() as u64,
             ),
             ConvKind::SpConvS => {
-                let rules = arena.count_submanifold_rules(&in_coords, in_grid, sp.kernel);
+                let rules = match delta.as_deref_mut() {
+                    Some(state) => {
+                        let out_rows = u64::from(in_grid.height);
+                        state.stats.rows_full_equivalent += out_rows;
+                        let reusable = frame_delta
+                            && state.layers[li]
+                                .input
+                                .as_ref()
+                                .is_some_and(|p| Arc::ptr_eq(p, &in_coords) || **p == *in_coords);
+                        if reusable {
+                            state.stats.layers_reused += 1;
+                            state.layers[li].rules
+                        } else if frame_delta {
+                            let (rules, swept) = arena
+                                .delta_count_submanifold(&in_coords, in_grid, sp.kernel, state, li);
+                            state.stats.layers_patched += 1;
+                            state.stats.rows_swept += swept;
+                            state.layers[li].input = Some(Arc::clone(&in_coords));
+                            rules
+                        } else {
+                            let rules = arena.count_submanifold_rules_and_record(
+                                &in_coords,
+                                in_grid,
+                                sp.kernel,
+                                &mut state.layers[li],
+                            );
+                            state.stats.layers_full += 1;
+                            state.stats.rows_swept += out_rows;
+                            state.layers[li].input = Some(Arc::clone(&in_coords));
+                            rules
+                        }
+                    }
+                    None => arena.count_submanifold_rules(&in_coords, in_grid, sp.kernel),
+                };
                 (Arc::clone(&in_coords), rules)
             }
-            _ => {
-                let (out, rules) = arena.dilate_and_count(&in_coords, in_grid, sp.kind, sp.kernel);
-                (Arc::from(out), rules)
-            }
+            _ => match delta.as_deref_mut() {
+                Some(state) => {
+                    let out_rows = u64::from(out_grid.height);
+                    state.stats.rows_full_equivalent += out_rows;
+                    let reusable = frame_delta
+                        && state.layers[li]
+                            .input
+                            .as_ref()
+                            .is_some_and(|p| Arc::ptr_eq(p, &in_coords) || **p == *in_coords);
+                    if reusable {
+                        state.stats.layers_reused += 1;
+                        let cache = &state.layers[li];
+                        (
+                            Arc::clone(cache.dilated.as_ref().expect("populated cache")),
+                            cache.rules,
+                        )
+                    } else if frame_delta {
+                        let (out, rules, swept) = arena.delta_dilate_and_count(
+                            &in_coords, in_grid, sp.kind, sp.kernel, state, li,
+                        );
+                        state.stats.layers_patched += 1;
+                        state.stats.rows_swept += swept;
+                        state.layers[li].input = Some(Arc::clone(&in_coords));
+                        (out, rules)
+                    } else {
+                        let cache = &mut state.layers[li];
+                        let (out, rules) = arena.dilate_count_and_record(
+                            &in_coords, in_grid, sp.kind, sp.kernel, cache,
+                        );
+                        let out: Arc<[PillarCoord]> = Arc::from(out);
+                        cache.dilated = Some(Arc::clone(&out));
+                        cache.input = Some(Arc::clone(&in_coords));
+                        state.stats.layers_full += 1;
+                        state.stats.rows_swept += out_rows;
+                        (out, rules)
+                    }
+                }
+                None => {
+                    let (out, rules) =
+                        arena.dilate_and_count(&in_coords, in_grid, sp.kind, sp.kernel);
+                    (Arc::from(out), rules)
+                }
+            },
         };
         // Dynamic pruning for SpConv-P layers.
         let out_coords: Arc<[PillarCoord]> = if sp.kind == ConvKind::SpConvP {
@@ -344,7 +501,22 @@ pub fn execute_pattern_with_arena(
                     pruned_foreground_ratio.push(fg_after as f64 / fg_before as f64);
                 }
             }
-            Arc::from(kept)
+            // Pruning is scene-dependent and re-runs every frame even on the
+            // delta path, but an unchanged pruned set reuses the previous
+            // frame's allocation so downstream layers see pointer-equal
+            // inputs.
+            match delta.as_deref_mut() {
+                Some(state) => {
+                    let cache = &mut state.layers[li];
+                    let arc = match cache.output.as_ref() {
+                        Some(prev) if prev[..] == kept[..] => Arc::clone(prev),
+                        _ => Arc::from(kept),
+                    };
+                    cache.output = Some(Arc::clone(&arc));
+                    arc
+                }
+                None => Arc::from(kept),
+            }
         } else {
             // Non-pruning layers pass the dilated set through unchanged — an
             // `Arc` clone, not a coordinate copy.
@@ -385,6 +557,10 @@ pub fn execute_pattern_with_arena(
             rules,
         });
         outputs.push((out_grid, out_coords));
+    }
+
+    if let Some(state) = delta {
+        state.prev_initial = Some(initial);
     }
 
     // Foreground coverage: fraction retained through all pruning stages,
@@ -680,6 +856,157 @@ mod tests {
             KernelShape::k2x2(),
         );
         assert_eq!(counted, book.num_rules() as u64);
+    }
+
+    fn mixed_spec() -> NetworkSpec {
+        let mk = |name: &str, kind, input| NetworkLayer {
+            spec: LayerSpec::new(name, kind, 4, 4),
+            input,
+            stage: 1,
+            densify_input: false,
+        };
+        NetworkSpec {
+            name: "mixed".into(),
+            encoder_channels: 4,
+            layers: vec![
+                mk("sub", ConvKind::SpConvS, LayerInput::Previous),
+                mk("conv", ConvKind::SpConv, LayerInput::Previous),
+                mk("down", ConvKind::SpStConv, LayerInput::Previous),
+                mk("prune", ConvKind::SpConvP, LayerInput::Previous),
+                mk("up", ConvKind::SpDeconv, LayerInput::Previous),
+                mk("merge", ConvKind::SpConvS, LayerInput::Union(vec![1, 4])),
+            ],
+        }
+    }
+
+    /// A drifting frame sequence: a few pillars move each frame, the rest
+    /// persist — the temporal shape of a persistent drive.
+    fn drifting_frames(grid: GridShape, frames: usize) -> Vec<Vec<PillarCoord>> {
+        let mut s = 0x1234_5678_u64;
+        let mut step = |m: u32| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 24) as u32 % m
+        };
+        let mut current: Vec<PillarCoord> = (0..70)
+            .map(|_| PillarCoord::new(step(grid.height), step(grid.width)))
+            .collect();
+        let mut out = Vec::with_capacity(frames);
+        for _ in 0..frames {
+            let mut f = current.clone();
+            f.sort();
+            f.dedup();
+            out.push(f);
+            for _ in 0..4 {
+                let idx = step(current.len() as u32) as usize;
+                current[idx] = PillarCoord::new(step(grid.height), step(grid.width));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn delta_execution_is_byte_identical_to_full() {
+        let grid = GridShape::new(32, 32);
+        let spec = mixed_spec();
+        let ctx = ExecutionContext {
+            pruning: PruningConfig {
+                keep_ratio: 0.5,
+                min_keep: 1,
+                finetuned: true,
+            },
+            seed: 7,
+            ..Default::default()
+        };
+        let mut delta_arena = ExecutionArena::new();
+        let mut full_arena = ExecutionArena::new();
+        let mut state = FrameDeltaState::default();
+        for (i, coords) in drifting_frames(grid, 8).iter().enumerate() {
+            let incremental =
+                execute_pattern_delta(&spec, coords, grid, 50, &ctx, &mut delta_arena, &mut state);
+            let full = execute_pattern_with_arena(&spec, coords, grid, 50, &ctx, &mut full_arena);
+            assert_eq!(incremental, full, "frame {i} diverged");
+        }
+        let stats = state.stats();
+        assert_eq!(stats.frames_total, 8);
+        assert!(stats.frames_delta >= 6, "drifting frames should go delta");
+        assert!(stats.layers_patched > 0, "some layers must row-splice");
+        assert!(
+            stats.rows_swept < stats.rows_full_equivalent,
+            "the delta path must sweep fewer rows than the full path"
+        );
+        assert!(stats.modelled_speedup() > 1.0);
+    }
+
+    #[test]
+    fn delta_state_survives_network_and_grid_switches() {
+        let ctx = ExecutionContext::default();
+        let mut arena = ExecutionArena::new();
+        let mut state = FrameDeltaState::default();
+        let grid_a = GridShape::new(24, 24);
+        let grid_b = GridShape::new(16, 16);
+        let frames = drifting_frames(grid_b, 3);
+        // Interleave two specs and two grids through one state: every switch
+        // must invalidate and fall back, never produce stale results.
+        for (spec, grid) in [
+            (mixed_spec(), grid_a),
+            (simple_spec(ConvKind::SpConv), grid_a),
+            (mixed_spec(), grid_b),
+            (mixed_spec(), grid_b),
+        ] {
+            for coords in &frames {
+                let incremental =
+                    execute_pattern_delta(&spec, coords, grid, 0, &ctx, &mut arena, &mut state);
+                let full = execute_pattern(&spec, coords, grid, 0, &ctx);
+                assert_eq!(incremental, full);
+            }
+        }
+    }
+
+    #[test]
+    fn iid_frames_fall_back_to_full_sweeps() {
+        let grid = GridShape::new(24, 24);
+        let spec = simple_spec(ConvKind::SpConv);
+        let ctx = ExecutionContext::default();
+        let mut arena = ExecutionArena::new();
+        let mut state = FrameDeltaState::default();
+        // Disjoint coordinate sets per frame: changed fraction ~2.0.
+        for base in [0u32, 8, 16] {
+            let coords = vec![
+                PillarCoord::new(base, 1),
+                PillarCoord::new(base + 2, 3),
+                PillarCoord::new(base + 4, 5),
+            ];
+            let incremental =
+                execute_pattern_delta(&spec, &coords, grid, 0, &ctx, &mut arena, &mut state);
+            assert_eq!(incremental, execute_pattern(&spec, &coords, grid, 0, &ctx));
+        }
+        let stats = state.stats();
+        assert_eq!(stats.frames_total, 3);
+        assert_eq!(stats.frames_delta, 0, "i.i.d. frames must not go delta");
+        assert_eq!(stats.rows_swept, stats.rows_full_equivalent);
+        assert_eq!(stats.modelled_speedup(), 1.0);
+    }
+
+    #[test]
+    fn identical_frames_reuse_whole_layers() {
+        let grid = GridShape::new(24, 24);
+        let spec = mixed_spec();
+        let ctx = ExecutionContext::default();
+        let mut arena = ExecutionArena::new();
+        let mut state = FrameDeltaState::default();
+        let coords = drifting_frames(grid, 1).pop().unwrap();
+        let first = execute_pattern_delta(&spec, &coords, grid, 0, &ctx, &mut arena, &mut state);
+        let second = execute_pattern_delta(&spec, &coords, grid, 0, &ctx, &mut arena, &mut state);
+        assert_eq!(first, second);
+        let stats = state.stats();
+        assert_eq!(stats.frames_delta, 1);
+        // Frame 2's non-dense layers are all served from the cache: pointer
+        // equality propagates layer to layer, so nothing is swept at all.
+        assert_eq!(stats.layers_patched, 0);
+        assert_eq!(stats.layers_reused, spec.layers.len());
+        assert_eq!(stats.rows_swept, stats.rows_full_equivalent / 2);
     }
 
     #[test]

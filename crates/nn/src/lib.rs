@@ -15,7 +15,9 @@
 //!   CPR-based algorithm (the RGU's algorithmic reference, `O(P)`), a
 //!   hash-table algorithm (as used by the SpConv GPU library), and a
 //!   merge-sort algorithm (as used by the PointAcc accelerator), each with a
-//!   cycle-cost model for Fig. 5(b).
+//!   cycle-cost model for Fig. 5(b) — plus [`rulegen::delta`], which patches
+//!   the previous frame's rule structures instead of regenerating them when
+//!   consecutive frames of a drive overlap (temporal delta execution).
 //! * [`conv`] — sparse convolution variants (SpConv, SpConv-S, SpConv-P,
 //!   strided SpConv, SpDeconv) and a dense reference, executed functionally on
 //!   CPR tensors.
@@ -59,5 +61,6 @@ pub use graph::{LayerTrace, NetworkSpec, NetworkTrace};
 pub use kernel::{KernelShape, WeightGroup, Weights};
 pub use pruning::{PruningConfig, VectorPruner};
 pub use rule::{Rule, RuleBook};
+pub use rulegen::delta::{DeltaPolicy, DeltaStats, FrameDeltaState};
 pub use rulegen::{RuleGenCost, RuleGenMethod};
 pub use zoo::{Model, ModelKind};

@@ -15,6 +15,7 @@
 //! algorithms are exposed to verify equivalence and to model their cycle
 //! costs.
 
+pub mod delta;
 pub mod hash;
 pub mod sort;
 pub mod streaming;

@@ -144,7 +144,7 @@ impl SweepSink for NullSink {
 }
 
 /// Streams both feeds into a [`RuleBook`].
-struct BookSink<'a>(&'a mut RuleBook);
+pub(crate) struct BookSink<'a>(pub(crate) &'a mut RuleBook);
 
 impl SweepSink for BookSink<'_> {
     fn output(&mut self, coord: PillarCoord) {
@@ -175,6 +175,47 @@ pub(crate) fn fused_sweep<R: RowSource>(
     streams: &mut Vec<StreamState>,
     sink: &mut impl SweepSink,
 ) -> (usize, u64) {
+    let mut num_outputs = 0usize;
+    let mut num_rules = 0u64;
+    for o in 0..out_grid.height {
+        let (row_outputs, row_rules) = sweep_output_row(
+            rows,
+            in_grid,
+            out_grid,
+            kind,
+            kernel,
+            streams,
+            sink,
+            o,
+            num_outputs,
+        );
+        num_outputs += row_outputs;
+        num_rules += row_rules;
+    }
+    (num_outputs, num_rules)
+}
+
+/// Sweeps a single output row `o`, emitting its outputs and rules through the
+/// sink with output indices starting at `out_index_base`. Because the fused
+/// sweep is row-independent (each output row only reads its own overlapping
+/// input rows and emits a contiguous run of output indices), a full frame is
+/// just this function applied to every row in order — and the delta path
+/// ([`crate::rulegen::delta`]) applies it to *dirty* rows only, splicing the
+/// results between untouched spans of the previous frame.
+///
+/// Returns `(outputs emitted for this row, rules emitted for this row)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sweep_output_row<R: RowSource>(
+    rows: &R,
+    in_grid: GridShape,
+    out_grid: GridShape,
+    kind: ConvKind,
+    kernel: KernelShape,
+    streams: &mut Vec<StreamState>,
+    sink: &mut impl SweepSink,
+    o: u32,
+    out_index_base: usize,
+) -> (usize, u64) {
     debug_assert!(kind != ConvKind::Dense, "dense layers bypass the sweep");
     let (kh, kw) = (i64::from(kernel.kh), i64::from(kernel.kw));
     // Same centring convention as `KernelShape::offsets`.
@@ -192,96 +233,140 @@ pub(crate) fn fused_sweep<R: RowSource>(
     let mut num_outputs = 0usize;
     let mut num_rules = 0u64;
 
-    for o in 0..out_grid.height {
-        // Alignment: one stream per (overlapping input row, kernel column).
-        streams.clear();
-        for kr in 0..kh {
-            let dr = kr - centre_r;
-            let p_row: i64 = match kind {
-                ConvKind::SpStConv => 2 * i64::from(o) + dr,
-                ConvKind::SpDeconv => {
-                    // q.row = 2·p.row + dr ⇒ p.row = (o − dr) / 2.
-                    let v = i64::from(o) - dr;
-                    if v < 0 || v % 2 != 0 {
-                        continue;
-                    }
-                    v / 2
+    // Alignment: one stream per (overlapping input row, kernel column).
+    streams.clear();
+    for kr in 0..kh {
+        let dr = kr - centre_r;
+        let p_row: i64 = match kind {
+            ConvKind::SpStConv => 2 * i64::from(o) + dr,
+            ConvKind::SpDeconv => {
+                // q.row = 2·p.row + dr ⇒ p.row = (o − dr) / 2.
+                let v = i64::from(o) - dr;
+                if v < 0 || v % 2 != 0 {
+                    continue;
                 }
-                _ => i64::from(o) + dr,
-            };
-            if p_row < 0 || p_row >= i64::from(in_grid.height) {
-                continue;
+                v / 2
             }
-            let (base, cols) = rows.row(p_row as u32);
-            if cols.is_empty() {
-                continue;
-            }
-            for kc in 0..kw {
-                let mut s = StreamState {
-                    row: p_row as u32,
-                    cursor: 0,
-                    base,
-                    dc: (kc - centre_c) as i32,
-                    tap: (kr * kw + kc) as u32,
-                    head: EXHAUSTED,
-                };
-                settle(rows, &mut s, kind, out_grid.width);
-                if s.head != EXHAUSTED {
-                    streams.push(s);
-                }
-            }
-        }
-        if streams.is_empty() {
+            _ => i64::from(o) + dr,
+        };
+        if p_row < 0 || p_row >= i64::from(in_grid.height) {
             continue;
         }
-        // For submanifold convolution the active outputs of this row are the
-        // active inputs of the same row; a forward cursor intersects the
-        // merged candidate stream with them in the same pass.
-        let (out_base, out_cols) = if submanifold {
-            rows.row(o)
-        } else {
-            (0, &[][..])
-        };
-        let mut oc = 0usize;
-        let mut last_emitted = EXHAUSTED;
-
-        // Row merge + column-wise dilation.
-        loop {
-            let mut best = EXHAUSTED;
-            for s in streams.iter() {
-                if s.head < best {
-                    best = s.head;
-                }
-            }
-            if best == EXHAUSTED {
-                break;
-            }
-            let q_idx = if submanifold {
-                while oc < out_cols.len() && out_cols[oc] < best {
-                    oc += 1;
-                }
-                (oc < out_cols.len() && out_cols[oc] == best).then(|| out_base + oc)
-            } else {
-                if last_emitted != best {
-                    sink.output(PillarCoord::new(o, best));
-                    num_outputs += 1;
-                }
-                Some(num_outputs - 1)
+        let (base, cols) = rows.row(p_row as u32);
+        if cols.is_empty() {
+            continue;
+        }
+        for kc in 0..kw {
+            let mut s = StreamState {
+                row: p_row as u32,
+                cursor: 0,
+                base,
+                dc: (kc - centre_c) as i32,
+                tap: (kr * kw + kc) as u32,
+                head: EXHAUSTED,
             };
-            last_emitted = best;
-            for s in streams.iter_mut() {
-                if s.head == best {
-                    if let Some(q) = q_idx {
-                        sink.rule(s.tap as usize, s.base + s.cursor, q);
-                        num_rules += 1;
-                    }
-                    s.cursor += 1;
-                    settle(rows, s, kind, out_grid.width);
+            settle(rows, &mut s, kind, out_grid.width);
+            if s.head != EXHAUSTED {
+                streams.push(s);
+            }
+        }
+    }
+    if streams.is_empty() {
+        return (0, 0);
+    }
+    // For submanifold convolution the active outputs of this row are the
+    // active inputs of the same row; a forward cursor intersects the
+    // merged candidate stream with them in the same pass.
+    let (out_base, out_cols) = if submanifold {
+        rows.row(o)
+    } else {
+        (0, &[][..])
+    };
+    let mut oc = 0usize;
+    let mut last_emitted = EXHAUSTED;
+
+    // Row merge + column-wise dilation.
+    loop {
+        let mut best = EXHAUSTED;
+        for s in streams.iter() {
+            if s.head < best {
+                best = s.head;
+            }
+        }
+        if best == EXHAUSTED {
+            break;
+        }
+        let q_idx = if submanifold {
+            while oc < out_cols.len() && out_cols[oc] < best {
+                oc += 1;
+            }
+            (oc < out_cols.len() && out_cols[oc] == best).then(|| out_base + oc)
+        } else {
+            if last_emitted != best {
+                sink.output(PillarCoord::new(o, best));
+                num_outputs += 1;
+            }
+            Some(out_index_base + num_outputs - 1)
+        };
+        last_emitted = best;
+        for s in streams.iter_mut() {
+            if s.head == best {
+                if let Some(q) = q_idx {
+                    sink.rule(s.tap as usize, s.base + s.cursor, q);
+                    num_rules += 1;
                 }
+                s.cursor += 1;
+                settle(rows, s, kind, out_grid.width);
             }
         }
     }
     (num_outputs, num_rules)
+}
+
+/// The input rows the sweep of output row `o` reads, as an inclusive range
+/// clipped to the input grid — the receptive-field ("halo") row band. Any
+/// change confined to input rows outside this band cannot affect output row
+/// `o`, which is the row-granular invariant the delta patcher relies on.
+pub(crate) fn input_row_band(
+    o: u32,
+    in_grid: GridShape,
+    kind: ConvKind,
+    kernel: KernelShape,
+) -> Option<(u32, u32)> {
+    let centre_r = if kernel.kh % 2 == 1 {
+        i64::from(kernel.kh / 2)
+    } else {
+        0
+    };
+    let mut lo = i64::MAX;
+    let mut hi = i64::MIN;
+    for kr in 0..i64::from(kernel.kh) {
+        let dr = kr - centre_r;
+        let p_row: i64 = match kind {
+            ConvKind::SpStConv => 2 * i64::from(o) + dr,
+            ConvKind::SpDeconv => {
+                let v = i64::from(o) - dr;
+                if v < 0 || v % 2 != 0 {
+                    continue;
+                }
+                v / 2
+            }
+            _ => i64::from(o) + dr,
+        };
+        if p_row < 0 || p_row >= i64::from(in_grid.height) {
+            continue;
+        }
+        lo = lo.min(p_row);
+        hi = hi.max(p_row);
+    }
+    // Submanifold sweeps additionally intersect with the *output* row's own
+    // input set, which sits at input row `o` — inside [lo, hi] already for
+    // odd kernels, but include it defensively.
+    if kind == ConvKind::SpConvS && (o as usize) < in_grid.height as usize {
+        lo = lo.min(i64::from(o));
+        hi = hi.max(i64::from(o));
+    }
+    (lo <= hi).then_some((lo as u32, hi as u32))
 }
 
 /// Generates a rule book with the fused streaming sweep: output coordinates,

@@ -348,6 +348,27 @@ impl DriveScenarioConfig {
         z ^ (z >> 31)
     }
 
+    /// The seed the *pruning/importance* randomness of a model run on frame
+    /// `index` uses.
+    ///
+    /// On a persistent drive consecutive frames share most of their active
+    /// pillars, and the temporal delta path exploits exactly that — but a
+    /// per-frame pruning seed would re-randomise the SpConv-P importance
+    /// noise every frame, churning the pruned sets (and everything
+    /// downstream) far more than the scene itself changes. Persistent drives
+    /// therefore hold the pruning seed fixed at frame 0's
+    /// [`DriveScenarioConfig::model_seed`] (the noise models a property of
+    /// the deployed network, not of the sweep), while independent drives
+    /// keep the historical per-frame stream byte-for-byte.
+    #[must_use]
+    pub const fn pruning_seed(&self, index: usize) -> u64 {
+        if self.persistence.is_persistent() {
+            self.model_seed(0)
+        } else {
+            self.model_seed(index)
+        }
+    }
+
     /// The combined density factor at a frame: the profile's factor times
     /// the active events' multipliers, clamped to the same `[0.05, 10.0]`
     /// guard band as [`DensityProfile::factor`].
@@ -581,6 +602,13 @@ impl DriveScenario {
     #[must_use]
     pub const fn model_seed(&self, index: usize) -> u64 {
         self.config.model_seed(index)
+    }
+
+    /// The pruning seed of frame `index` (see
+    /// [`DriveScenarioConfig::pruning_seed`]).
+    #[must_use]
+    pub const fn pruning_seed(&self, index: usize) -> u64 {
+        self.config.pruning_seed(index)
     }
 
     /// Generates frame `index` of the drive.
@@ -876,6 +904,23 @@ mod tests {
         // The two streams stay disjoint across a realistic index range.
         let frame_seeds: Vec<u64> = (0..1000).map(|i| cfg.frame_seed(i)).collect();
         assert!((0..1000).all(|i| !frame_seeds.contains(&cfg.model_seed(i))));
+    }
+
+    #[test]
+    fn pruning_seed_is_drive_stable_only_when_persistent() {
+        // Independent drives keep the historical per-frame stream exactly
+        // (the legacy golden CSVs depend on it)…
+        let iid = DriveScenarioConfig::constant(6, 99);
+        for i in 0..6 {
+            assert_eq!(iid.pruning_seed(i), iid.model_seed(i));
+        }
+        // …while persistent drives pin pruning randomness to frame 0, so
+        // frame-to-frame churn reflects the scene, not re-rolled noise.
+        let sng = NamedScenario::StopAndGo.config(6, 99);
+        for i in 0..6 {
+            assert_eq!(sng.pruning_seed(i), sng.model_seed(0));
+        }
+        assert_ne!(sng.pruning_seed(3), sng.model_seed(3));
     }
 
     #[test]

@@ -6,7 +6,8 @@
 #   2. cargo clippy -D warnings — lints, all targets
 #   3. cargo test -q            — unit + integration + property + doc tests
 #   4. dse smoke with --jobs 4  — the parallel sweep path, reduced grid,
-#                                 legacy drive + one scripted scenario
+#                                 legacy drive + one scripted scenario,
+#                                 full-sweep and delta execution
 #   5. perf smoke               — reduced dse (release) vs committed reference
 #   6. cargo bench --no-run     — all 13 figure benches must compile
 #   7. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
@@ -28,6 +29,9 @@ cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4
 
 echo "==> dse smoke (scripted stop-and-go scenario, persistent world)"
 cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --scenario stop-and-go
+
+echo "==> dse smoke (stop-and-go scenario, temporal delta execution)"
+cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --scenario stop-and-go --delta
 
 echo "==> perf smoke (release reduced dse vs committed reference)"
 scripts/perf_smoke.sh

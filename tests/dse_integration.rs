@@ -282,6 +282,107 @@ fn scripted_scenario_sweep_is_deterministic_and_parallel_safe() {
 }
 
 #[test]
+fn delta_sweep_simulates_the_same_cells_as_the_full_sweep() {
+    // The delta path changes how the per-frame workloads are computed —
+    // never what they contain — so every simulated metric of every cell must
+    // be identical with delta on and off; only the delta bookkeeping columns
+    // may differ.
+    for scenario in [NamedScenario::StopAndGo, NamedScenario::Urban] {
+        let mut params = small_params();
+        params.scenario = Some(scenario);
+        let full = run_dse(&params);
+        params.delta = true;
+        let delta = run_dse(&params);
+        assert_eq!(full.cells.len(), delta.cells.len());
+        for (f, d) in full.cells.iter().zip(&delta.cells) {
+            let mut d_masked = d.clone();
+            d_masked.frames_delta_executed = f.frames_delta_executed;
+            d_masked.delta_speedup = f.delta_speedup;
+            assert_eq!(*f, d_masked, "{scenario}: cell metrics drifted");
+        }
+        // A temporally coherent drive actually exercises the delta path and
+        // wins: at least one frame patches (frame 0 always full-sweeps, and
+        // an eventful transition may trip the fallback threshold), and fewer
+        // rows are swept than a from-scratch run would walk.
+        assert!(
+            delta.delta_stats.frames_delta >= 1
+                && delta.delta_stats.frames_delta < delta.delta_stats.frames_total,
+            "{scenario}: delta stats {:?}",
+            delta.delta_stats
+        );
+        assert!(
+            delta.cells[0].delta_speedup > 1.0,
+            "{scenario}: modelled speedup {} not > 1",
+            delta.cells[0].delta_speedup
+        );
+        assert!(delta.cells[0].frames_delta_executed > 0);
+        // The bookkeeping columns appear only on delta runs, so legacy
+        // exports stay byte-identical.
+        let delta_header = delta.to_csv().lines().next().unwrap().to_owned();
+        assert!(delta_header.contains("frames_delta_executed"));
+        assert!(delta_header.contains("delta_speedup"));
+        let full_header = full.to_csv().lines().next().unwrap().to_owned();
+        assert!(!full_header.contains("delta"));
+        assert!(delta.summary().contains("delta execution"));
+    }
+}
+
+#[test]
+fn delta_sweep_is_bit_identical_across_worker_counts() {
+    // Delta drives run stage 1 sequentially per model, but the design-point
+    // fan-out still parallelises — the whole result must stay bit-identical
+    // for any worker count, like the full-sweep path.
+    let mut params = small_params();
+    params.scenario = Some(NamedScenario::StopAndGo);
+    params.delta = true;
+    let serial = run_dse_with_jobs(&params, 1);
+    let parallel = run_dse_with_jobs(&params, 4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.to_json(), parallel.to_json());
+}
+
+#[test]
+fn per_frame_delta_runs_match_full_runs_exactly() {
+    // Below the sweep: model_run_on_frame_delta must reproduce
+    // model_run_on_frame byte-for-byte on every frame of a scripted drive.
+    use spade::nn::{DeltaPolicy, FrameDeltaState, ModelKind, PruningConfig};
+    use spade_bench::workload::{model_run_on_frame, model_run_on_frame_delta};
+
+    let preset = DatasetPreset::kitti_like();
+    let cfg = NamedScenario::StopAndGo.config(5, 2024);
+    let scenario = DriveScenario::new(preset.clone(), cfg.clone());
+    let mut state = FrameDeltaState::new(DeltaPolicy::default());
+    for f in &scenario.frames() {
+        let seed = cfg.pruning_seed(f.index);
+        let full = model_run_on_frame(
+            ModelKind::Spp2,
+            &preset,
+            &f.frame,
+            seed,
+            WorkloadScale::Reduced,
+            PruningConfig::default(),
+        );
+        let delta = model_run_on_frame_delta(
+            ModelKind::Spp2,
+            &preset,
+            &f.frame,
+            seed,
+            WorkloadScale::Reduced,
+            PruningConfig::default(),
+            &mut state,
+        );
+        assert_eq!(full.trace, delta.trace, "frame {}", f.index);
+        assert_eq!(full.workloads, delta.workloads, "frame {}", f.index);
+        assert_eq!(full.encoder_macs, delta.encoder_macs, "frame {}", f.index);
+    }
+    let stats = state.stats();
+    assert_eq!(stats.frames_total, 5);
+    assert!(stats.frames_delta >= 3, "stats: {stats:?}");
+    assert!(stats.rows_swept < stats.rows_full_equivalent);
+}
+
+#[test]
 fn denser_traffic_narrows_spades_win() {
     // Run the sparse model on the sparse and dense ends of the drive via the
     // sweep machinery: the SPADE-vs-DenseAcc latency gap should be wider on
