@@ -1,0 +1,150 @@
+//! Closed-loop load generator for `spade-serve`: replays a seeded
+//! Zipfian mix of DSE sweep requests and reports throughput, latency
+//! percentiles (overall and split cold/warm by the server's cache-hit
+//! flag), and the measured vs analytic cache hit-rate.
+//!
+//! Usage:
+//!
+//! ```text
+//! spade-loadgen --addr 127.0.0.1:7454                 # 200 requests, defaults
+//! spade-loadgen --addr HOST:PORT --requests 500 \
+//!               --connections 4 --catalog 8 --zipf 1.0 --seed 2024
+//! spade-loadgen --addr HOST:PORT --json report.json   # machine-readable report
+//! spade-loadgen --addr HOST:PORT --stats              # print server STATS after
+//! spade-loadgen --addr HOST:PORT --shutdown           # stop the server after
+//! ```
+//!
+//! The catalog holds `--catalog` distinct reduced-scale sweeps (rank k
+//! differs only in drive seed); rank 0 is the Zipf-hottest. The same
+//! `--seed` always replays the identical request sequence.
+
+use spade_bench::loadgen::{expected_hit_rate, run_loadgen, zipf_weights, LoadgenConfig};
+use spade_bench::protocol::{encode_request, read_frame, write_frame, Request, Response};
+use spade_bench::{DseParams, WorkloadScale};
+use std::net::TcpStream;
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
+}
+
+fn value_of(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| usage_error(&format!("{flag} expects a value")))
+}
+
+fn int_value_of<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let raw = value_of(it, flag);
+    raw.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag} expects a number, got '{raw}'")))
+}
+
+/// Sends one auxiliary verb on a fresh connection and returns the reply.
+fn send_verb(addr: &str, request: &Request) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, encode_request(request).as_bytes())?;
+    let reply = read_frame(&mut stream)?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no reply"))?;
+    let text = std::str::from_utf8(&reply)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Response::decode(text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut requests = 200usize;
+    let mut connections = 2usize;
+    let mut catalog_len = 8usize;
+    let mut zipf = 1.0f64;
+    let mut seed = 2024u64;
+    let mut frames = 3usize;
+    let mut scale = WorkloadScale::Reduced;
+    let mut json_path: Option<String> = None;
+    let mut print_stats = false;
+    let mut shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = value_of(&mut it, "--addr"),
+            "--requests" => requests = int_value_of(&mut it, "--requests"),
+            "--connections" => connections = int_value_of(&mut it, "--connections"),
+            "--catalog" => catalog_len = int_value_of(&mut it, "--catalog"),
+            "--zipf" => zipf = int_value_of(&mut it, "--zipf"),
+            "--seed" => seed = int_value_of(&mut it, "--seed"),
+            "--frames" => frames = int_value_of(&mut it, "--frames"),
+            "--full" => scale = WorkloadScale::Full,
+            "--json" => json_path = Some(value_of(&mut it, "--json")),
+            "--stats" => print_stats = true,
+            "--shutdown" => shutdown = true,
+            flag => usage_error(&format!("unknown flag: {flag}")),
+        }
+    }
+    if addr.is_empty() {
+        usage_error("--addr HOST:PORT is required");
+    }
+    if catalog_len == 0 {
+        usage_error("--catalog expects a positive integer");
+    }
+    let catalog: Vec<DseParams> = (0..catalog_len)
+        .map(|rank| {
+            let mut params = DseParams::default_for(scale);
+            params.num_frames = frames.max(1);
+            params.base_seed += rank as u64;
+            params
+        })
+        .collect();
+    let config = LoadgenConfig {
+        addr: addr.clone(),
+        connections,
+        requests,
+        catalog,
+        zipf_exponent: zipf,
+        seed,
+    };
+    if requests > 0 {
+        let report = run_loadgen(&config).unwrap_or_else(|e| {
+            eprintln!("loadgen failed: {e}");
+            std::process::exit(1);
+        });
+        let expected = expected_hit_rate(&zipf_weights(catalog_len, zipf), requests);
+        println!(
+            "{} requests over {} connections in {:.1} ms ({:.1} req/s), {} errors",
+            report.requests,
+            connections,
+            report.elapsed.as_secs_f64() * 1e3,
+            report.throughput_rps,
+            report.errors,
+        );
+        println!(
+            "hit-rate {:.3} (analytic expectation {expected:.3})",
+            report.hit_rate
+        );
+        println!(
+            "latency ms: p50 {:.3} p99 {:.3} | cold p50 {:.3} p99 {:.3} | warm p50 {:.3} p99 {:.3}",
+            report.p50_ms,
+            report.p99_ms,
+            report.cold_p50_ms,
+            report.cold_p99_ms,
+            report.warm_p50_ms,
+            report.warm_p99_ms,
+        );
+        if let Some(path) = &json_path {
+            let json = report.to_table(&config).to_json_object();
+            std::fs::write(path, json).expect("failed to write JSON report");
+            println!("wrote report to {path}");
+        }
+    }
+    if print_stats {
+        match send_verb(&addr, &Request::Stats) {
+            Ok(Response::Ok { body, .. }) => println!("--- server stats ---\n{body}"),
+            Ok(Response::Err(message)) => eprintln!("STATS failed: {message}"),
+            Err(e) => eprintln!("STATS failed: {e}"),
+        }
+    }
+    if shutdown {
+        match send_verb(&addr, &Request::Shutdown) {
+            Ok(_) => println!("server asked to shut down"),
+            Err(e) => eprintln!("SHUTDOWN failed: {e}"),
+        }
+    }
+}

@@ -518,7 +518,17 @@ pub fn run_dse(params: &DseParams) -> DseResult {
 /// result is identical for any `jobs` value (`0` is clamped to `1`).
 #[must_use]
 pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
-    let pool = WorkerPool::new(jobs);
+    run_dse_on_pool(params, &WorkerPool::new(jobs))
+}
+
+/// Runs the sweep on a caller-provided [`WorkerPool`] — the entry point the
+/// serving layer uses so many concurrent sweeps can share one
+/// [`crate::pool::ConcurrencyBudget`] instead of each spawning its own full
+/// thread complement. The result is bit-identical for any pool width or
+/// budget (including a zero-token budget, which degrades to a serial run on
+/// the calling thread).
+#[must_use]
+pub fn run_dse_on_pool(params: &DseParams, pool: &WorkerPool) -> DseResult {
     let configs = params.axes.expand_configs();
     let dataflow = dedup_axis(&params.axes.dataflow);
     let drive_cfg = params.drive_config();

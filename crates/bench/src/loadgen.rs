@@ -1,0 +1,443 @@
+//! `spade-loadgen`: a closed-loop load generator for `spade-serve`.
+//!
+//! Replays a deterministic Zipfian mix of `SWEEP` requests against a
+//! running server and reports service-side throughput, latency
+//! percentiles, and cache hit-rate. Everything is seeded: the same
+//! `(seed, catalog, exponent, request count)` produces the identical
+//! request sequence on every run ([`request_sequence`]), so benchmark
+//! numbers are reproducible and the integration tests can assert the
+//! measured hit-rate against the analytic expectation
+//! ([`expected_hit_rate`]).
+//!
+//! The generator is *closed-loop*: each connection issues its next
+//! request only after the previous response arrives, so measured latency
+//! is honest end-to-end service time (queueing included) and the offered
+//! load never outruns the server.
+//!
+//! Latencies are split by the server's `hit=` meta flag: *cold* requests
+//! executed a sweep (or parked on one in flight), *warm* requests were
+//! served from the completed-result cache. The ISSUE's service
+//! acceptance bar — warm p99 at least an order of magnitude under cold
+//! p99 — falls directly out of [`LoadgenReport`].
+
+use crate::dse::DseParams;
+use crate::protocol::{encode_request, read_frame, write_frame, Request, Response};
+use spade_core::{ReportTable, ReportValue};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A deterministic SplitMix64 RNG — the same tiny generator the scene
+/// synthesiser uses, re-implemented here so the bench crate stays
+/// dependency-free.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Normalised Zipfian probabilities over `n` ranks: `p_k ∝ 1/(k+1)^s`.
+/// Rank 0 is the hottest key.
+#[must_use]
+pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..n)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(exponent))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// The deterministic rank sequence a run replays: `requests` draws from
+/// the Zipfian distribution over `catalog_len` ranks, all from one seeded
+/// RNG — same inputs, same sequence, every time.
+#[must_use]
+pub fn request_sequence(
+    catalog_len: usize,
+    requests: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(catalog_len > 0, "catalog must not be empty");
+    let weights = zipf_weights(catalog_len, exponent);
+    let mut cumulative = Vec::with_capacity(catalog_len);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w;
+        cumulative.push(acc);
+    }
+    let mut rng = SplitMix64::new(seed);
+    (0..requests)
+        .map(|_| {
+            let u = rng.next_f64();
+            cumulative
+                .iter()
+                .position(|&c| u < c)
+                .unwrap_or(catalog_len - 1)
+        })
+        .collect()
+}
+
+/// Analytic expected cache hit-rate of a cold-started server under `n`
+/// requests drawn i.i.d. from `weights`: each distinct key's first
+/// request misses and the rest hit, so
+/// `E[hit-rate] = 1 − Σ_k (1 − (1 − p_k)^n) / n`.
+///
+/// Exact for a sequential (single-connection) closed loop with a cache
+/// big enough to avoid eviction; concurrent connections can convert some
+/// would-be hits into in-flight joins (reported as `deduped`, not hits).
+#[must_use]
+pub fn expected_hit_rate(weights: &[f64], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let expected_distinct: f64 = weights
+        .iter()
+        .map(|&p| 1.0 - (1.0 - p).powi(i32::try_from(n).unwrap_or(i32::MAX)))
+        .sum();
+    1.0 - expected_distinct / n as f64
+}
+
+/// What to replay and where.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7454`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Distinct sweeps to draw from; index 0 is the hottest rank.
+    pub catalog: Vec<DseParams>,
+    /// Zipf exponent `s` (1.0 is the classic web-trace value; larger
+    /// skews hotter).
+    pub zipf_exponent: f64,
+    /// RNG seed for the request sequence.
+    pub seed: u64,
+}
+
+/// One request's outcome.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    latency: Duration,
+    hit: bool,
+}
+
+/// The measured result of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests completed successfully.
+    pub requests: usize,
+    /// Requests that failed (I/O error or `ERR` response).
+    pub errors: usize,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Fraction of completed requests served from the result cache.
+    pub hit_rate: f64,
+    /// Latency percentiles over every completed request (ms).
+    pub p50_ms: f64,
+    /// 99th percentile over every completed request (ms).
+    pub p99_ms: f64,
+    /// Median over cache-miss (executed or deduped) requests (ms).
+    pub cold_p50_ms: f64,
+    /// 99th percentile over cache-miss requests (ms).
+    pub cold_p99_ms: f64,
+    /// Median over cache-hit requests (ms).
+    pub warm_p50_ms: f64,
+    /// 99th percentile over cache-hit requests (ms).
+    pub warm_p99_ms: f64,
+}
+
+/// Nearest-rank percentile of an unsorted latency set, in milliseconds.
+/// Returns 0 for an empty set.
+fn percentile_ms(latencies: &mut [f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(f64::total_cmp);
+    let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1]
+}
+
+impl LoadgenReport {
+    fn from_samples(samples: &[Sample], elapsed: Duration, errors: usize) -> Self {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut all: Vec<f64> = samples.iter().map(|s| ms(s.latency)).collect();
+        let mut cold: Vec<f64> = samples
+            .iter()
+            .filter(|s| !s.hit)
+            .map(|s| ms(s.latency))
+            .collect();
+        let mut warm: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.hit)
+            .map(|s| ms(s.latency))
+            .collect();
+        let hits = warm.len();
+        Self {
+            requests: samples.len(),
+            errors,
+            elapsed,
+            throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+                samples.len() as f64 / elapsed.as_secs_f64()
+            } else {
+                0.0
+            },
+            hit_rate: if samples.is_empty() {
+                0.0
+            } else {
+                hits as f64 / samples.len() as f64
+            },
+            p50_ms: percentile_ms(&mut all, 0.50),
+            p99_ms: percentile_ms(&mut all, 0.99),
+            cold_p50_ms: percentile_ms(&mut cold, 0.50),
+            cold_p99_ms: percentile_ms(&mut cold, 0.99),
+            warm_p50_ms: percentile_ms(&mut warm, 0.50),
+            warm_p99_ms: percentile_ms(&mut warm, 0.99),
+        }
+    }
+
+    /// The report as a one-row [`ReportTable`] (CSV/JSON export).
+    #[must_use]
+    pub fn to_table(&self, config: &LoadgenConfig) -> ReportTable {
+        let mut table = ReportTable::new(vec![
+            "requests",
+            "connections",
+            "catalog",
+            "zipf_exponent",
+            "seed",
+            "errors",
+            "elapsed_ms",
+            "throughput_rps",
+            "hit_rate",
+            "p50_ms",
+            "p99_ms",
+            "cold_p50_ms",
+            "cold_p99_ms",
+            "warm_p50_ms",
+            "warm_p99_ms",
+        ]);
+        table.push_row(vec![
+            ReportValue::Int(self.requests as i64),
+            ReportValue::Int(config.connections as i64),
+            ReportValue::Int(config.catalog.len() as i64),
+            ReportValue::Float(config.zipf_exponent),
+            ReportValue::Int(config.seed as i64),
+            ReportValue::Int(self.errors as i64),
+            ReportValue::Float(self.elapsed.as_secs_f64() * 1e3),
+            ReportValue::Float(self.throughput_rps),
+            ReportValue::Float(self.hit_rate),
+            ReportValue::Float(self.p50_ms),
+            ReportValue::Float(self.p99_ms),
+            ReportValue::Float(self.cold_p50_ms),
+            ReportValue::Float(self.cold_p99_ms),
+            ReportValue::Float(self.warm_p50_ms),
+            ReportValue::Float(self.warm_p99_ms),
+        ]);
+        table
+    }
+}
+
+/// Issues one `SWEEP` and returns its latency and hit flag.
+fn issue_sweep(stream: &mut TcpStream, params: &DseParams) -> Result<Sample, String> {
+    let payload = encode_request(&Request::Sweep(params.clone()));
+    let start = Instant::now();
+    write_frame(stream, payload.as_bytes()).map_err(|e| e.to_string())?;
+    let reply = read_frame(stream)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| "server closed the connection".to_owned())?;
+    let latency = start.elapsed();
+    let text = std::str::from_utf8(&reply).map_err(|e| e.to_string())?;
+    match Response::decode(text)? {
+        ok @ Response::Ok { .. } => Ok(Sample {
+            latency,
+            hit: ok.meta_field("hit") == Some("1"),
+        }),
+        Response::Err(message) => Err(message),
+    }
+}
+
+/// Runs the closed loop: the deterministic rank sequence is dealt
+/// round-robin across `connections` threads, each replaying its share in
+/// order over its own socket.
+///
+/// # Errors
+///
+/// Fails if any connection cannot be established; individual request
+/// failures are tallied in [`LoadgenReport::errors`] instead.
+pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    assert!(!config.catalog.is_empty(), "catalog must not be empty");
+    let sequence = request_sequence(
+        config.catalog.len(),
+        config.requests,
+        config.zipf_exponent,
+        config.seed,
+    );
+    let connections = config.connections.max(1);
+    let mut sockets = (0..connections)
+        .map(|_| TcpStream::connect(&config.addr))
+        .collect::<std::io::Result<Vec<_>>>()?;
+    for socket in &sockets {
+        socket.set_nodelay(true)?;
+    }
+    let started = Instant::now();
+    let mut results: Vec<(Vec<Sample>, usize)> = Vec::with_capacity(connections);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sockets
+            .iter_mut()
+            .enumerate()
+            .map(|(lane, stream)| {
+                let sequence = &sequence;
+                let catalog = &config.catalog;
+                scope.spawn(move || {
+                    let mut samples = Vec::new();
+                    let mut errors = 0usize;
+                    for &rank in sequence.iter().skip(lane).step_by(connections) {
+                        match issue_sweep(stream, &catalog[rank]) {
+                            Ok(sample) => samples.push(sample),
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (samples, errors)
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("loadgen lane panicked"));
+        }
+    });
+    let elapsed = started.elapsed();
+    let mut samples = Vec::with_capacity(config.requests);
+    let mut errors = 0;
+    for (lane_samples, lane_errors) in results {
+        samples.extend(lane_samples);
+        errors += lane_errors;
+    }
+    Ok(LoadgenReport::from_samples(&samples, elapsed, errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_weights_are_normalised_and_rank_ordered() {
+        let w = zipf_weights(8, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] > p[1]), "rank 0 is hottest");
+        // Exponent 0 degrades to uniform.
+        let uniform = zipf_weights(4, 0.0);
+        assert!(uniform.iter().all(|&p| (p - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn request_sequence_is_deterministic_in_the_seed() {
+        let a = request_sequence(16, 500, 1.0, 2024);
+        let b = request_sequence(16, 500, 1.0, 2024);
+        assert_eq!(a, b, "same seed, same sequence");
+        let c = request_sequence(16, 500, 1.0, 2025);
+        assert_ne!(a, c, "different seed, different sequence");
+        assert!(a.iter().all(|&r| r < 16));
+    }
+
+    #[test]
+    fn zipfian_draws_match_their_analytic_frequencies() {
+        let n = 20_000;
+        let ranks = request_sequence(8, n, 1.0, 7);
+        let weights = zipf_weights(8, 1.0);
+        for (rank, &expected) in weights.iter().enumerate() {
+            let observed = ranks.iter().filter(|&&r| r == rank).count() as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "rank {rank}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_hit_rate_brackets_sanely() {
+        let weights = zipf_weights(8, 1.0);
+        assert_eq!(expected_hit_rate(&weights, 0), 0.0);
+        // One request can only miss.
+        assert!(expected_hit_rate(&weights, 1) < 1e-12);
+        // Many requests over a small catalog approach certainty.
+        assert!(expected_hit_rate(&weights, 10_000) > 0.99);
+        // Monotone in n.
+        let h10 = expected_hit_rate(&weights, 10);
+        let h100 = expected_hit_rate(&weights, 100);
+        assert!(h100 > h10);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut lat = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert!((percentile_ms(&mut lat, 0.50) - 3.0).abs() < 1e-12);
+        assert!((percentile_ms(&mut lat, 0.99) - 5.0).abs() < 1e-12);
+        assert!((percentile_ms(&mut lat, 0.01) - 1.0).abs() < 1e-12);
+        assert_eq!(percentile_ms(&mut [], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_table_round_trips_the_headline_numbers() {
+        let samples = [
+            Sample {
+                latency: Duration::from_millis(10),
+                hit: false,
+            },
+            Sample {
+                latency: Duration::from_millis(1),
+                hit: true,
+            },
+            Sample {
+                latency: Duration::from_millis(1),
+                hit: true,
+            },
+            Sample {
+                latency: Duration::from_millis(12),
+                hit: false,
+            },
+        ];
+        let report = LoadgenReport::from_samples(&samples, Duration::from_millis(100), 1);
+        assert_eq!(report.requests, 4);
+        assert_eq!(report.errors, 1);
+        assert!((report.hit_rate - 0.5).abs() < 1e-12);
+        assert!((report.throughput_rps - 40.0).abs() < 1e-9);
+        assert!(report.cold_p99_ms >= 12.0 - 1e-9);
+        assert!(report.warm_p99_ms <= 1.0 + 1e-9);
+        let config = LoadgenConfig {
+            addr: "unused".into(),
+            connections: 1,
+            requests: 4,
+            catalog: vec![crate::dse::DseParams::default_for(
+                crate::workload::WorkloadScale::Reduced,
+            )],
+            zipf_exponent: 1.0,
+            seed: 1,
+        };
+        let table = report.to_table(&config);
+        assert_eq!(table.num_rows(), 1);
+        let json = table.to_json_object();
+        assert!(json.contains("\"hit_rate\": 0.5"), "{json}");
+    }
+}

@@ -1,5 +1,5 @@
 //! A dependency-free scoped-thread worker pool for embarrassingly parallel
-//! sweeps.
+//! sweeps, safe to drive from many concurrent callers.
 //!
 //! Every `(configuration, accelerator, frame)` cell of the DSE grid is an
 //! independent simulation, so the sweep parallelises trivially — but the
@@ -9,17 +9,99 @@
 //! cannot leave one worker with all the slow cells) and results are
 //! reassembled **in index order**, which makes parallel output bit-identical
 //! to a serial run regardless of which worker computed which cell.
+//!
+//! ## Concurrent callers
+//!
+//! The batch CLI runs one sweep at a time, but `spade-serve` multiplexes
+//! many concurrent sweeps over one machine. Uncoordinated pools would spawn
+//! `callers x jobs` threads — on an 8-core box, eight concurrent 8-wide
+//! sweeps would run 64 compute threads. [`ConcurrencyBudget`] bounds the
+//! total: pools created with [`WorkerPool::with_budget`] share a token pot,
+//! and each `run` call spawns an *extra* worker only when it can take a
+//! token. Tokens are only ever `try`-acquired — never waited on — and the
+//! calling thread always executes work inline without holding a token, so
+//! every caller is guaranteed progress and no interleaving of concurrent
+//! submissions can deadlock, even with a zero-token budget.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A shared pot of worker tokens bounding the total number of *extra*
+/// compute threads across every pool (and thus every concurrent sweep)
+/// attached to it.
+///
+/// The pot is only ever polled (`try_acquire`), never blocked on: a caller
+/// that finds the pot empty simply runs its work inline on its own thread.
+/// That makes the budget a throughput bound, not a scheduling gate — it can
+/// never introduce a deadlock, and a zero-token budget degrades every
+/// attached pool to a serial run.
+#[derive(Debug)]
+pub struct ConcurrencyBudget {
+    tokens: Mutex<usize>,
+}
+
+impl ConcurrencyBudget {
+    /// A budget of `tokens` extra worker threads shared by every pool that
+    /// attaches to it.
+    #[must_use]
+    pub fn new(tokens: usize) -> Arc<Self> {
+        Arc::new(Self {
+            tokens: Mutex::new(tokens),
+        })
+    }
+
+    /// Takes one token if any are free. Never blocks.
+    fn try_acquire(&self) -> bool {
+        let mut tokens = self.tokens.lock().expect("budget mutex poisoned");
+        if *tokens > 0 {
+            *tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one token to the pot.
+    fn release(&self) {
+        *self.tokens.lock().expect("budget mutex poisoned") += 1;
+    }
+
+    /// Tokens currently free (for tests and stats; racy by nature).
+    #[must_use]
+    pub fn available(&self) -> usize {
+        *self.tokens.lock().expect("budget mutex poisoned")
+    }
+}
+
+/// Releases a budget token when dropped, so a panicking worker cannot leak
+/// its token out of the pot.
+struct BudgetToken<'a>(&'a ConcurrencyBudget);
+
+impl Drop for BudgetToken<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
 
 /// A fixed-width pool of scoped worker threads.
 ///
 /// The pool holds no threads between runs — each [`WorkerPool::run`] call
 /// spawns its workers inside a `std::thread::scope`, which guarantees they
-/// are joined before the call returns (even when a task panics).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// are joined before the call returns (even when a task panics). All state
+/// a `run` call touches is local to the call (plus the optional shared
+/// [`ConcurrencyBudget`], which is only polled), so one pool — or many
+/// pools over one budget — can be driven from any number of threads
+/// concurrently.
+#[derive(Debug, Clone)]
 pub struct WorkerPool {
     jobs: usize,
+    budget: Option<Arc<ConcurrencyBudget>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
 }
 
 impl WorkerPool {
@@ -27,13 +109,29 @@ impl WorkerPool {
     /// misparsed `--jobs` flag degrades to a serial run instead of a hang.
     #[must_use]
     pub fn new(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self {
+            jobs: jobs.max(1),
+            budget: None,
+        }
     }
 
     /// A pool sized to the machine's available parallelism (1 if unknown).
     #[must_use]
     pub fn with_available_parallelism() -> Self {
         Self::new(default_jobs())
+    }
+
+    /// Creates a pool of up to `jobs` workers whose threads beyond the
+    /// calling one are bounded by the shared `budget`. Concurrent `run`
+    /// calls across every pool attached to the budget spawn at most
+    /// `budget` extra threads in total; the rest of the work runs inline on
+    /// the callers' own threads.
+    #[must_use]
+    pub fn with_budget(jobs: usize, budget: Arc<ConcurrencyBudget>) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            budget: Some(budget),
+        }
     }
 
     /// Number of workers the pool runs with.
@@ -47,8 +145,11 @@ impl WorkerPool {
     ///
     /// With one worker (or one item) this is a plain serial map — no threads
     /// are spawned, so `jobs = 1` is the reference the parallel path must
-    /// match. With more, workers race on an atomic cursor for the next
-    /// index; the indexed reassembly keeps the output identical either way.
+    /// match. With more, the calling thread and up to `jobs - 1` spawned
+    /// workers race on an atomic cursor for the next index; the indexed
+    /// reassembly keeps the output identical either way. Budgeted pools may
+    /// spawn fewer extra workers (or none) when the shared pot is drained —
+    /// the caller always participates, so the call completes regardless.
     ///
     /// # Panics
     ///
@@ -66,28 +167,52 @@ impl WorkerPool {
         }
         let cursor = AtomicUsize::new(0);
         let task = &task;
+        let drain = |produced: &mut Vec<(usize, T)>| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= num_items {
+                break;
+            }
+            produced.push((i, task(i)));
+        };
         let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(num_items).collect();
         std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..jobs)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut produced = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= num_items {
-                                break;
+            // The calling thread is worker zero; the other `jobs - 1`
+            // workers spawn only if the shared budget (when present) has
+            // tokens left. Tokens ride a drop guard inside each worker so a
+            // panicking task still returns its token.
+            let drain = &drain;
+            let workers: Vec<_> = (1..jobs)
+                .filter_map(|_| {
+                    let token: Option<&ConcurrencyBudget> = match &self.budget {
+                        Some(budget) => {
+                            if !budget.try_acquire() {
+                                return None;
                             }
-                            produced.push((i, task(i)));
+                            Some(budget.as_ref())
                         }
+                        None => None,
+                    };
+                    Some(scope.spawn(move || {
+                        let _token = token.map(BudgetToken);
+                        let mut produced = Vec::new();
+                        drain(&mut produced);
                         produced
-                    })
+                    }))
                 })
                 .collect();
-            // Join every worker before re-raising any panic: unwinding
-            // mid-loop would leave panicked handles for the scope to join
-            // during the unwind, and a second captured panic there would
-            // escalate to a process abort.
-            let mut first_panic = None;
+            // Participate inline, but defer a panic of our own share until
+            // every spawned worker is joined: unwinding mid-scope would
+            // leave panicked handles for the scope to join during the
+            // unwind, and a second captured panic there would escalate to a
+            // process abort.
+            let mut own = Vec::new();
+            let mut first_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                drain(&mut own);
+            }))
+            .err();
+            for (i, value) in own {
+                slots[i] = Some(value);
+            }
             for worker in workers {
                 match worker.join() {
                     Ok(pairs) => {
@@ -110,12 +235,6 @@ impl WorkerPool {
             .into_iter()
             .map(|slot| slot.expect("every index in 0..num_items is claimed exactly once"))
             .collect()
-    }
-}
-
-impl Default for WorkerPool {
-    fn default() -> Self {
-        Self::with_available_parallelism()
     }
 }
 
@@ -204,5 +323,104 @@ mod tests {
         assert!(default_jobs() >= 1);
         assert!(WorkerPool::with_available_parallelism().jobs() >= 1);
         assert!(WorkerPool::default().jobs() >= 1);
+    }
+
+    #[test]
+    fn zero_token_budget_degrades_to_inline_execution() {
+        // With an empty pot nothing spawns, the caller does all the work,
+        // and the call still completes with identical output — the property
+        // that makes the budget deadlock-free by construction.
+        let budget = ConcurrencyBudget::new(0);
+        let pool = WorkerPool::with_budget(8, Arc::clone(&budget));
+        assert_eq!(
+            pool.run(16, |i| i * 2),
+            (0..16).map(|i| i * 2).collect::<Vec<_>>()
+        );
+        assert_eq!(budget.available(), 0);
+    }
+
+    #[test]
+    fn budget_tokens_are_returned_after_a_run_even_on_panic() {
+        let budget = ConcurrencyBudget::new(3);
+        let pool = WorkerPool::with_budget(4, Arc::clone(&budget));
+        let _ = pool.run(64, |i| i);
+        assert_eq!(budget.available(), 3, "tokens leaked by a clean run");
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, |i| {
+                if i == 7 {
+                    panic!("poisoned");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(budget.available(), 3, "tokens leaked by a panicking run");
+    }
+
+    /// The multi-caller stress test the serving layer depends on: two
+    /// callers drive budgeted pools concurrently. On the pre-budget pool
+    /// this scenario oversubscribed the machine (each caller spawned its
+    /// full `jobs` complement, so the peak thread count below would hit
+    /// `2 x jobs` and the bound assertion panics); a naive blocking token
+    /// acquire would deadlock with both callers parked on an empty pot.
+    /// The budgeted pool must complete, stay correct, and never exceed
+    /// `callers + tokens` live workers.
+    #[test]
+    fn two_concurrent_callers_share_the_budget_without_deadlock_or_oversubscription() {
+        const TOKENS: usize = 2;
+        const CALLERS: usize = 2;
+        let budget = ConcurrencyBudget::new(TOKENS);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let task = |i: usize| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            // Hold the worker long enough that the two sweeps genuinely
+            // overlap and contend for tokens.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            live.fetch_sub(1, Ordering::SeqCst);
+            i * i
+        };
+        let expected: Vec<usize> = (0..40).map(|i| i * i).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CALLERS)
+                .map(|_| {
+                    let pool = WorkerPool::with_budget(6, Arc::clone(&budget));
+                    scope.spawn(move || pool.run(40, task))
+                })
+                .collect();
+            for handle in handles {
+                assert_eq!(handle.join().expect("caller panicked"), expected);
+            }
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) <= CALLERS + TOKENS,
+            "budget oversubscribed: peak {} workers > {} callers + {} tokens",
+            peak.load(Ordering::SeqCst),
+            CALLERS,
+            TOKENS
+        );
+        assert_eq!(budget.available(), TOKENS);
+    }
+
+    #[test]
+    fn one_pool_is_safe_to_share_across_threads() {
+        // A single pool value (not just a budget) driven by concurrent
+        // submitters: every submission must come back correct and in index
+        // order — the property `spade-serve` relies on when many request
+        // handlers share one pool.
+        let pool = WorkerPool::with_budget(4, ConcurrencyBudget::new(2));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|caller| {
+                    let pool = &pool;
+                    scope.spawn(move || pool.run(25, move |i| caller * 1000 + i))
+                })
+                .collect();
+            for (caller, handle) in handles.into_iter().enumerate() {
+                let expected: Vec<usize> = (0..25).map(|i| caller * 1000 + i).collect();
+                assert_eq!(handle.join().expect("caller panicked"), expected);
+            }
+        });
     }
 }

@@ -297,6 +297,35 @@ impl ReportTable {
         out.push_str("\n]\n");
         out
     }
+
+    /// Serialises a **one-row** table as a single JSON object keyed by
+    /// column name — the shape service-metric snapshots take (`spade-serve`
+    /// STATS exports, the `spade-loadgen` BENCH report), where an array
+    /// wrapper around one measurement would only get in the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the table holds exactly one row — a schema bug in the
+    /// caller, not a runtime condition.
+    #[must_use]
+    pub fn to_json_object(&self) -> String {
+        assert_eq!(
+            self.rows.len(),
+            1,
+            "to_json_object needs exactly one row, table has {}",
+            self.rows.len()
+        );
+        let json = self.to_json();
+        // Reuse the array writer's escaping and value formatting: strip the
+        // `[\n  ` / `\n]\n` wrapper around the single object.
+        let inner = json
+            .trim_start_matches("[\n  ")
+            .trim_end_matches('\n')
+            .trim_end_matches(']')
+            .trim_end()
+            .to_owned();
+        format!("{inner}\n")
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +411,29 @@ mod tests {
             assert_eq!(cell.is_empty(), json_null, "column {col} disagrees");
         }
         assert!(json.contains("\"d\": 1.5"));
+    }
+
+    #[test]
+    fn single_row_table_serialises_to_a_json_object() {
+        let mut t = ReportTable::new(vec!["throughput_rps", "p99_ms", "note"]);
+        t.push_row(vec![1250.5.into(), 3.25.into(), "warm \"cache\"".into()]);
+        let obj = t.to_json_object();
+        assert!(
+            obj.starts_with('{') && obj.trim_end().ends_with('}'),
+            "{obj}"
+        );
+        assert!(obj.contains("\"throughput_rps\": 1250.5"), "{obj}");
+        assert!(obj.contains("\"p99_ms\": 3.25"), "{obj}");
+        assert!(obj.contains("\"note\": \"warm \\\"cache\\\"\""), "{obj}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly one row")]
+    fn to_json_object_rejects_multi_row_tables() {
+        let mut t = ReportTable::new(vec!["x"]);
+        t.push_row(vec![1.0.into()]);
+        t.push_row(vec![2.0.into()]);
+        let _ = t.to_json_object();
     }
 
     #[test]

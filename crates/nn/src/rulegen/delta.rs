@@ -434,6 +434,17 @@ impl FrameDeltaState {
         self.stats
     }
 
+    /// Returns the counters accumulated since the last take and resets
+    /// them (the frame caches are untouched). This is the hand-off a
+    /// long-lived owner uses to fold one state's recent activity into an
+    /// aggregate — e.g. `spade-serve` keeps one state per (drive, model)
+    /// stream and drains each state's counters into its service-wide
+    /// [`DeltaStats`] after every frame, without double counting and
+    /// without giving up the state's warm caches.
+    pub fn take_stats(&mut self) -> DeltaStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// Drops the cached previous frame (the counters survive). The next
     /// frame runs the full path and re-records.
     pub fn invalidate(&mut self) {
@@ -467,6 +478,21 @@ impl Default for FrameDeltaState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn take_stats_drains_counters_but_keeps_the_frame_cache() {
+        let mut state = FrameDeltaState::default();
+        state.stats.frames_total = 3;
+        state.stats.frames_delta = 2;
+        state.prev_initial = Some(Arc::from(&[PillarCoord::new(1, 1)][..]));
+        let taken = state.take_stats();
+        assert_eq!(taken.frames_total, 3);
+        assert_eq!(taken.frames_delta, 2);
+        // Counters reset; the cached previous frame survives, so the next
+        // frame can still take the delta path.
+        assert_eq!(state.stats(), DeltaStats::default());
+        assert!(state.prev_initial.is_some());
+    }
 
     fn tensor(grid: GridShape, coords: &[(u32, u32)]) -> CprTensor {
         let coords: Vec<PillarCoord> = coords

@@ -9,8 +9,11 @@
 #                                 legacy drive + one scripted scenario,
 #                                 full-sweep and delta execution
 #   5. perf smoke               — reduced dse (release) vs committed reference
-#   6. cargo bench --no-run     — all 13 figure benches must compile
-#   7. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
+#   6. serve smoke              — spade-serve + 50 spade-loadgen requests:
+#                                 hit-rate > 0, zero errors, clean SHUTDOWN,
+#                                 wall time vs committed reference
+#   7. cargo bench --no-run     — all 13 figure benches must compile
+#   8. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +38,9 @@ cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --
 
 echo "==> perf smoke (release reduced dse vs committed reference)"
 scripts/perf_smoke.sh
+
+echo "==> serve smoke (spade-serve request loop under spade-loadgen)"
+scripts/serve_smoke.sh
 
 echo "==> cargo bench -p spade-bench --no-run"
 cargo bench -p spade-bench --no-run

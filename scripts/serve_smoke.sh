@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Service smoke for CI: boots spade-serve on an ephemeral port, replays 50
+# Zipfian loadgen requests against it, asserts the run was healthy (no
+# request errors, a non-zero cache hit-rate), and checks the server shuts
+# down cleanly on the SHUTDOWN verb.
+#
+# Like perf_smoke.sh, the loadgen wall time is gated at 3x a committed
+# reference (scripts/serve_smoke_reference_ms) to catch order-of-magnitude
+# serving-path regressions without tripping on runner noise. Re-measure and
+# commit a new reference when a PR intentionally moves the serving path.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+# shellcheck source=scripts/now_ms.sh
+. scripts/now_ms.sh
+
+cargo build --release -q -p spade-bench --bin spade-serve --bin spade-loadgen
+
+log=$(mktemp)
+json=$(mktemp)
+trap 'rm -f "$log" "$json"; kill "$server_pid" 2>/dev/null || true' EXIT
+
+./target/release/spade-serve --threads 4 --jobs 2 --budget 2 >"$log" &
+server_pid=$!
+
+# The server prints "listening on <addr>" once bound; wait for it.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve smoke FAILED: server never reported its address"
+    exit 1
+fi
+echo "server up on ${addr}"
+
+start=$(now_ms)
+./target/release/spade-loadgen --addr "$addr" --requests 50 --connections 2 \
+    --catalog 6 --seed 2024 --json "$json" --stats --shutdown
+end=$(now_ms)
+ms=$(( end - start ))
+
+# Clean shutdown: the SHUTDOWN verb must stop the process by itself.
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "serve smoke FAILED: server still running after SHUTDOWN"
+    exit 1
+fi
+wait "$server_pid" 2>/dev/null || true
+
+hit_rate=$(sed -n 's/.*"hit_rate": \([0-9.eE+-]*\).*/\1/p' "$json")
+errors=$(sed -n 's/.*"errors": \([0-9]*\).*/\1/p' "$json")
+echo "loadgen: ${ms} ms, hit_rate=${hit_rate}, errors=${errors}"
+if [ -z "$hit_rate" ] || [ "$(awk -v h="$hit_rate" 'BEGIN { print (h > 0) ? 1 : 0 }')" != "1" ]; then
+    echo "serve smoke FAILED: cache hit-rate must be > 0 (got '${hit_rate}')"
+    exit 1
+fi
+if [ "${errors:-1}" != "0" ]; then
+    echo "serve smoke FAILED: ${errors:-?} request errors"
+    exit 1
+fi
+
+ref=$(cat scripts/serve_smoke_reference_ms)
+limit=$(( ref * 3 ))
+echo "serve smoke: ${ms} ms (reference ${ref} ms, limit ${limit} ms)"
+if [ "$ms" -gt "$limit" ]; then
+    echo "serve smoke FAILED: ${ms} ms > ${limit} ms (3x the committed reference)"
+    exit 1
+fi
+echo "serve smoke passed"

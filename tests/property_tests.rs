@@ -362,3 +362,166 @@ fn delta_fallback_boundaries_are_exact() {
     );
     assert!(!patched);
 }
+
+// ---------------------------------------------------------------------------
+// Wire-protocol properties (PR 7): the spade-serve request encoding must
+// round-trip every expressible sweep exactly, and the service cache key
+// must not care how the client ordered (or duplicated) its axes.
+
+mod protocol_props {
+    use super::*;
+    use spade::core::DataflowOptions;
+    use spade::nn::ModelKind;
+    use spade::pointcloud::DensityProfile;
+    use spade_bench::dse::{DseParams, SweepAxes};
+    use spade_bench::protocol::{cache_key, canonicalize_params, decode_params, encode_params};
+    use spade_bench::WorkloadScale;
+
+    /// A tiny deterministic stream (splitmix64) that expands one seed into a
+    /// whole `DseParams` — the vendored proptest stub only samples scalar
+    /// ranges, so structured values are derived from a sampled seed.
+    struct Stream(u64);
+
+    impl Stream {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        /// Positive grid-step float: k/16 for k in 1..=64 (round-trips are
+        /// exact for *any* finite f64; the grid just keeps values readable).
+        fn step(&mut self) -> f64 {
+            (self.below(64) + 1) as f64 / 16.0
+        }
+
+        fn vec<T>(&mut self, max_len: u64, mut f: impl FnMut(&mut Self) -> T) -> Vec<T> {
+            let n = self.below(max_len) + 1;
+            (0..n).map(|_| f(self)).collect()
+        }
+    }
+
+    fn params_from_seed(seed: u64) -> DseParams {
+        let mut s = Stream(seed);
+        let axes = SweepAxes {
+            pe_dims: s.vec(3, |s| {
+                ((s.below(96) + 1) as usize, (s.below(96) + 1) as usize)
+            }),
+            sram_scales: s.vec(3, Stream::step),
+            freq_ghz: s.vec(3, Stream::step),
+            dram_bytes_per_cycle: s.vec(3, Stream::step),
+            dataflow: s.vec(3, |s| {
+                let mask = s.below(8);
+                DataflowOptions {
+                    weight_grouping: mask & 1 != 0,
+                    ganged_scatter: mask & 2 != 0,
+                    adaptive_tiling: mask & 4 != 0,
+                }
+            }),
+        };
+        let models = s.vec(3, |s| ModelKind::ALL[s.below(11) as usize]);
+        let profile = match s.below(3) {
+            0 => DensityProfile::Constant,
+            1 => DensityProfile::Ramp {
+                start: s.step(),
+                end: s.step(),
+            },
+            _ => DensityProfile::Peak {
+                base: s.step(),
+                peak: s.step(),
+            },
+        };
+        let scenario = {
+            let all = spade::pointcloud::NamedScenario::ALL;
+            match s.below(all.len() as u64 + 1) {
+                0 => None,
+                k => Some(all[(k - 1) as usize]),
+            }
+        };
+        DseParams {
+            scale: if s.below(2) == 0 {
+                WorkloadScale::Full
+            } else {
+                WorkloadScale::Reduced
+            },
+            axes,
+            models,
+            num_frames: (s.below(5) + 1) as usize,
+            base_seed: s.next(),
+            profile,
+            scenario,
+            delta: s.below(2) == 0,
+        }
+    }
+
+    /// Rotates and (optionally) reverses every axis: a pure reordering that
+    /// must not change what the sweep means.
+    fn reorder(params: &DseParams, rot: usize, rev: bool) -> DseParams {
+        fn scramble<T>(v: &mut [T], rot: usize, rev: bool) {
+            if v.is_empty() {
+                return;
+            }
+            let k = rot % v.len();
+            v.rotate_left(k);
+            if rev {
+                v.reverse();
+            }
+        }
+        let mut out = params.clone();
+        scramble(&mut out.models, rot, rev);
+        scramble(&mut out.axes.pe_dims, rot, rev);
+        scramble(&mut out.axes.sram_scales, rot, rev);
+        scramble(&mut out.axes.freq_ghz, rot, rev);
+        scramble(&mut out.axes.dram_bytes_per_cycle, rot, rev);
+        scramble(&mut out.axes.dataflow, rot, rev);
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Arbitrary params encode → decode to the identical value: the wire
+        /// form loses nothing (floats travel via shortest-round-trip
+        /// formatting, so fractional values survive exactly).
+        #[test]
+        fn params_encode_decode_is_the_identity(seed in 0u64..u64::MAX) {
+            let params = params_from_seed(seed);
+            let encoded = encode_params(&params);
+            let decoded = decode_params(&encoded).expect("decode of own encoding");
+            prop_assert_eq!(decoded, params);
+        }
+
+        /// Params differing only in axis order — or in duplicated axis
+        /// values, which the sweep ignores — canonicalize to the same cache
+        /// key and the same executable form, so the server answers every
+        /// spelling of a sweep with one cached, byte-identical result.
+        #[test]
+        fn cache_key_ignores_axis_order_and_duplicates(seed in 0u64..u64::MAX) {
+            let params = params_from_seed(seed);
+            let rot = (seed >> 7) as usize % 8;
+            let rev = seed & 1 == 1;
+            let reordered = reorder(&params, rot, rev);
+            prop_assert_eq!(cache_key(&params), cache_key(&reordered));
+            prop_assert_eq!(
+                canonicalize_params(&params),
+                canonicalize_params(&reordered)
+            );
+            // Duplicating an axis value changes the encoding but not the key.
+            let mut duplicated = params.clone();
+            duplicated.models.push(duplicated.models[0]);
+            duplicated.axes.sram_scales.push(duplicated.axes.sram_scales[0]);
+            duplicated.axes.pe_dims.push(duplicated.axes.pe_dims[0]);
+            assert_ne!(encode_params(&params), encode_params(&duplicated));
+            prop_assert_eq!(cache_key(&params), cache_key(&duplicated));
+            // Canonicalisation is idempotent: a canonical form is its own key.
+            let canonical = canonicalize_params(&params);
+            prop_assert_eq!(encode_params(&canonical), cache_key(&params));
+        }
+    }
+}
