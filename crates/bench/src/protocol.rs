@@ -174,13 +174,49 @@ pub fn decode_request(payload: &str) -> Result<Request, String> {
     }
 }
 
+/// The exact field set of a `FRAME` request body. Anything else is either
+/// a typo or a `;` smuggled through a drive name — both are rejected so
+/// the encode/decode symmetry holds for every accepted request.
+const FRAME_FIELDS: [&str; 7] = [
+    "drive", "scenario", "model", "scale", "seed", "frames", "index",
+];
+
+/// Drive identities travel verbatim inside the `;`-separated field line,
+/// so names that would collide with the field syntax (or hide whitespace)
+/// are rejected rather than escaped.
+fn validate_drive(name: &str) -> Result<&str, String> {
+    if name.is_empty() {
+        return Err("drive name must not be empty".to_owned());
+    }
+    if name.contains([';', '=', '\n', '\r']) {
+        return Err(format!(
+            "drive name '{name}' contains a reserved character (';', '=', or newline)"
+        ));
+    }
+    if name != name.trim() {
+        return Err(format!(
+            "drive name '{name}' has leading or trailing whitespace"
+        ));
+    }
+    Ok(name)
+}
+
 fn decode_frame_request(body: &str) -> Result<FrameRequest, String> {
     let fields = parse_fields(body)?;
+    if let Some((key, _)) = fields
+        .iter()
+        .find(|(k, _)| !FRAME_FIELDS.contains(&k.as_str()))
+    {
+        return Err(format!("unexpected field '{key}' in FRAME request"));
+    }
+    if fields.len() > FRAME_FIELDS.len() {
+        return Err("duplicate field in FRAME request".to_owned());
+    }
     let get = |key: &str| field(&fields, key);
     let scenario_raw = get("scenario")?;
     let model_raw = get("model")?;
     Ok(FrameRequest {
-        drive: get("drive")?.to_owned(),
+        drive: validate_drive(get("drive")?)?.to_owned(),
         scenario: NamedScenario::parse(scenario_raw)
             .ok_or_else(|| format!("unknown scenario '{scenario_raw}'"))?,
         model: parse_model(model_raw)?,
@@ -236,9 +272,15 @@ impl Response {
             Some((s, b)) => (s, b.to_owned()),
             None => (payload, String::new()),
         };
-        if let Some(meta) = status_line.strip_prefix("OK") {
+        if status_line == "OK" {
             return Ok(Response::Ok {
-                meta: meta.strip_prefix(' ').unwrap_or(meta).to_owned(),
+                meta: String::new(),
+                body,
+            });
+        }
+        if let Some(meta) = status_line.strip_prefix("OK ") {
+            return Ok(Response::Ok {
+                meta: meta.to_owned(),
                 body,
             });
         }
@@ -608,6 +650,12 @@ mod tests {
             ("SWEEP scale=reduced", "missing field"),
             ("SWEEP scale=reduced;models=SPP9;frames=1;seed=1;profile=const;delta=0;pe=16x16;sram=1;ghz=1;bpc=12.8;df=7", "unknown model"),
             ("FRAME drive=x;scenario=volcano;model=SPP2;seed=1;frames=2;index=0", "unknown scenario"),
+            // A ';' in a drive name parses as an injected extra field.
+            ("FRAME drive=x;evil=1;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "unexpected field"),
+            ("FRAME drive=a=b;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "reserved character"),
+            ("FRAME drive= x;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "whitespace"),
+            ("FRAME drive=;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "must not be empty"),
+            ("FRAME drive=x;drive=y;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "duplicate field"),
             ("SWEEP scale=reduced;models=SPP2;frames=1;seed=1;profile=ramp:0.5:inf;delta=0;pe=16x16;sram=1;ghz=1;bpc=12.8;df=7", "finite"),
         ] {
             let err = decode_request(payload).unwrap_err();
@@ -657,6 +705,10 @@ mod tests {
             other => panic!("expected ERR, got {other:?}"),
         }
         assert!(Response::decode("GARBAGE").is_err());
+        // 'OK' must stand alone or be followed by a space — 'OKAY ...'
+        // is malformed, not an OK with mangled meta.
+        assert!(Response::decode("OKAY hit=1").is_err());
+        assert!(Response::decode("OK=1").is_err());
         // Empty-body OK stays a single line.
         let pong = Response::ok("pong", "");
         assert_eq!(pong.encode(), "OK pong");

@@ -189,17 +189,25 @@ impl Inflight {
 }
 
 /// Ensures parked duplicate requesters are released even if the executing
-/// request panics mid-sweep: dropping the guard without `disarm` fulfils
-/// the slot with an error instead of leaving waiters on the condvar
-/// forever.
+/// request panics mid-sweep: dropping the guard while still armed retires
+/// the in-flight slot from the server map (so a later request re-executes
+/// the sweep instead of joining the dead one's error forever) and fulfils
+/// the slot with an error instead of leaving waiters on the condvar.
 struct InflightGuard<'a> {
+    state: &'a Mutex<ServerState>,
     inflight: &'a Inflight,
+    key: &'a str,
     armed: bool,
 }
 
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
+            // `if let` rather than `expect`: this runs during unwinding, and
+            // a second panic would abort instead of reporting the first.
+            if let Ok(mut st) = self.state.lock() {
+                st.inflight.remove(self.key);
+            }
             self.inflight
                 .fulfil(Err("sweep execution panicked on the server".to_owned()));
         }
@@ -210,7 +218,6 @@ impl Drop for InflightGuard<'_> {
 /// carries rule structures from frame to frame.
 struct StreamEntry {
     scenario_config: DriveScenarioConfig,
-    request: FrameRequest,
     preset: DatasetPreset,
     frames: Option<Vec<DriveFrame>>,
     state: FrameDeltaState,
@@ -224,20 +231,10 @@ impl StreamEntry {
         };
         Self {
             scenario_config: request.scenario.config(request.frames, request.seed),
-            request,
             preset,
             frames: None,
             state: FrameDeltaState::new(DeltaPolicy::default()),
         }
-    }
-
-    /// Whether an existing stream can keep serving this request, or the
-    /// client has restarted the drive under the same identity.
-    fn matches(&self, request: &FrameRequest) -> bool {
-        self.request.scenario == request.scenario
-            && self.request.seed == request.seed
-            && self.request.frames == request.frames
-            && self.request.scale == request.scale
     }
 
     fn ensure_frames(&mut self) -> &[DriveFrame] {
@@ -249,7 +246,40 @@ impl StreamEntry {
     }
 }
 
+/// Map slot for one drive stream: a copy of the request identity that
+/// created it, readable under the state lock alone, plus the shared,
+/// independently locked entry.
+struct StreamSlot {
+    identity: FrameRequest,
+    entry: Arc<Mutex<StreamEntry>>,
+}
+
+impl StreamSlot {
+    fn new(request: FrameRequest) -> Self {
+        Self {
+            identity: request.clone(),
+            entry: Arc::new(Mutex::new(StreamEntry::new(request))),
+        }
+    }
+
+    /// Whether the existing stream can keep serving this request, or the
+    /// client has restarted the drive under the same identity.
+    fn matches(&self, request: &FrameRequest) -> bool {
+        self.identity.scenario == request.scenario
+            && self.identity.seed == request.seed
+            && self.identity.frames == request.frames
+            && self.identity.scale == request.scale
+    }
+}
+
 /// Everything the handler threads share.
+///
+/// Lock-order discipline: `state` and a per-stream entry lock are **never**
+/// held at the same time. Admission reads stream identities from
+/// [`StreamSlot`] under `state` alone; frame execution holds only the
+/// entry lock; stats publication re-takes `state` only after the entry
+/// guard is dropped. Holding both in either order would let two concurrent
+/// `FRAME` requests for one drive deadlock every handler thread.
 struct Shared {
     state: Mutex<ServerState>,
     shutdown: AtomicBool,
@@ -260,7 +290,7 @@ struct Shared {
 struct ServerState {
     cache: ResultCache,
     inflight: HashMap<String, Arc<Inflight>>,
-    streams: HashMap<(String, ModelKind), Arc<Mutex<StreamEntry>>>,
+    streams: HashMap<(String, ModelKind), StreamSlot>,
     stats: ServiceStats,
 }
 
@@ -408,7 +438,7 @@ fn read_frame_interruptible(
     // A frame has started: reassemble the remaining length-prefix bytes and
     // splice them ahead of the payload read.
     let mut rest = [0u8; 3];
-    read_exact_patient(stream, &mut rest)?;
+    read_exact_patient(stream, &mut rest, shutdown)?;
     let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]) as usize;
     if len > crate::protocol::MAX_FRAME_BYTES {
         return Err(std::io::Error::new(
@@ -417,13 +447,25 @@ fn read_frame_interruptible(
         ));
     }
     let mut payload = vec![0u8; len];
-    read_exact_patient(stream, &mut payload)?;
+    read_exact_patient(stream, &mut payload, shutdown)?;
     Ok(Some(payload))
 }
 
-/// `read_exact` that retries through read-timeout ticks (used only once a
-/// frame has started arriving, so it cannot wait forever on a live peer).
-fn read_exact_patient(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result<()> {
+/// How long a started frame may stall before the connection is dropped. A
+/// live peer has the whole frame in flight already; multi-second silence
+/// mid-frame is a dead or hostile client holding a handler thread hostage.
+const MID_FRAME_STALL_LIMIT: Duration = Duration::from_secs(5);
+
+/// `read_exact` that retries through read-timeout ticks but stays
+/// interruptible: it gives up when the server shuts down or when the peer
+/// stalls mid-frame past [`MID_FRAME_STALL_LIMIT`], so a half-written
+/// frame can neither hang `Server::join` nor pin a handler thread forever.
+fn read_exact_patient(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let deadline = std::time::Instant::now() + MID_FRAME_STALL_LIMIT;
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
@@ -436,8 +478,22 @@ fn read_exact_patient(stream: &mut TcpStream, buf: &mut [u8]) -> std::io::Result
             Ok(n) => filled += n,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut
-                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::Interrupted,
+                        "server shutting down mid-frame",
+                    ));
+                }
+                if std::time::Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer stalled mid-frame",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
@@ -478,7 +534,9 @@ fn handle_sweep(shared: &Shared, params: &DseParams) -> Response {
         },
         SweepRole::Execute(inflight) => {
             let mut guard = InflightGuard {
+                state: &shared.state,
                 inflight: &inflight,
+                key: &key,
                 armed: true,
             };
             // The sweep runs outside the global lock; only the publication
@@ -510,16 +568,18 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
     let entry = {
         let mut st = shared.state.lock().expect("state lock");
         st.stats.frames_served += 1;
-        let entry = st
+        let slot = st
             .streams
-            .entry(stream_key.clone())
-            .or_insert_with(|| Arc::new(Mutex::new(StreamEntry::new(request.clone()))));
+            .entry(stream_key)
+            .or_insert_with(|| StreamSlot::new(request.clone()));
         // Same drive identity but a different drive: the client restarted,
-        // so the stream (and its delta state) restarts with it.
-        if !entry.lock().expect("stream lock").matches(&request) {
-            *entry = Arc::new(Mutex::new(StreamEntry::new(request.clone())));
+        // so the stream (and its delta state) restarts with it. The check
+        // reads the slot's identity copy — taking the entry lock here
+        // would invert the lock order against the stats merge below.
+        if !slot.matches(&request) {
+            *slot = StreamSlot::new(request.clone());
         }
-        Arc::clone(entry)
+        Arc::clone(&slot.entry)
     };
     // Frame generation and model execution run under the per-stream lock
     // only — concurrent requests for *different* drives proceed in
@@ -545,6 +605,9 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
         state,
     );
     let frame_stats = state.take_stats();
+    // Release the per-stream lock before re-entering the state lock: the
+    // two are never held together (see the lock-order note on `Shared`).
+    drop(entry);
     {
         let mut st = shared.state.lock().expect("state lock");
         st.stats.delta.merge(&frame_stats);
@@ -660,15 +723,32 @@ mod tests {
     }
 
     #[test]
-    fn dropped_inflight_guard_releases_waiters_with_an_error() {
+    fn dropped_inflight_guard_releases_waiters_and_retires_the_key() {
+        let state = Mutex::new(ServerState {
+            cache: ResultCache::new(1024),
+            inflight: HashMap::new(),
+            streams: HashMap::new(),
+            stats: ServiceStats::default(),
+        });
         let inflight = Arc::new(Inflight::default());
+        state
+            .lock()
+            .unwrap()
+            .inflight
+            .insert("k".to_owned(), Arc::clone(&inflight));
         {
             let _guard = InflightGuard {
+                state: &state,
                 inflight: &inflight,
+                key: "k",
                 armed: true,
             };
         }
         assert!(inflight.wait().is_err(), "waiters must not hang");
+        assert!(
+            state.lock().unwrap().inflight.is_empty(),
+            "the failed slot must be retired so a later request re-executes"
+        );
     }
 
     #[test]

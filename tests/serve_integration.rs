@@ -326,6 +326,60 @@ fn frame_stream_matches_direct_delta_execution() {
     server.join();
 }
 
+/// Regression test for the admission/stats lock ordering: concurrent
+/// `FRAME` requests for the *same* drive used to take the global state
+/// lock and the per-stream lock in opposite orders, wedging every handler
+/// thread. All clients hammer one (drive, model) key at once; the test
+/// passing at all (rather than hanging) is the assertion that matters.
+#[test]
+fn concurrent_frames_for_the_same_drive_do_not_deadlock() {
+    const CLIENTS: usize = 4;
+    const FRAMES: usize = 4;
+    let server = test_server();
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    std::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            let server = &server;
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut client = connect(server);
+                barrier.wait();
+                for index in 0..FRAMES {
+                    let response = send(
+                        &mut client,
+                        &Request::Frame(FrameRequest {
+                            drive: "shared-drive".to_owned(),
+                            scenario: NamedScenario::Tunnel,
+                            model: ModelKind::Spp2,
+                            scale: WorkloadScale::Reduced,
+                            seed: 7,
+                            frames: FRAMES,
+                            index,
+                        }),
+                    );
+                    assert!(
+                        matches!(response, Response::Ok { .. }),
+                        "client {client_id} frame {index}: {response:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    // Every request landed on the one shared stream.
+    let mut client = connect(&server);
+    let counters = stats(&mut client);
+    assert_eq!(
+        counters.get("frames_served").map(String::as_str),
+        Some(format!("{}", CLIENTS * FRAMES).as_str())
+    );
+    assert_eq!(counters.get("streams").map(String::as_str), Some("1"));
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn loadgen_hit_rate_matches_the_zipfian_analytic_expectation() {
     const REQUESTS: usize = 200;
