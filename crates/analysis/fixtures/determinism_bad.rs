@@ -1,0 +1,32 @@
+//! Known-bad fixture for the determinism pass: hash-order iteration feeding
+//! an export, plus unannotated wall-clock reads.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+fn export_rows(table: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut rows = Vec::new();
+    // BUG: emitted in hash order — byte-identical export is impossible.
+    for (_k, v) in table.iter() {
+        rows.push(*v);
+    }
+    rows
+}
+
+fn export_keys(table: &HashMap<u32, u32>) -> Vec<u32> {
+    let seen: HashSet<u32> = table.keys().copied().collect();
+    let mut out = Vec::new();
+    for key in seen {
+        out.push(key);
+    }
+    out
+}
+
+fn stamp_report() -> (u128, u64) {
+    let wall = SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis();
+    let mono = Instant::now().elapsed().as_nanos() as u64;
+    (wall, mono)
+}

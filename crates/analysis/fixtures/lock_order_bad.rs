@@ -1,0 +1,34 @@
+//! Known-bad fixture: the exact pre-fix PR-7 ABBA shape.
+//!
+//! `handle_sweep` took the global state lock and then a per-stream entry
+//! lock (state → stream-entry, the declared direction), while `handle_frame`
+//! took the entry lock first and re-entered the state lock to merge stats
+//! (stream-entry → state). Two threads running one function each deadlock.
+//! `spade-lint --lock-order` must report both the inversion edge and the
+//! `state → stream-entry → state` cycle.
+
+use std::sync::{Arc, Mutex};
+
+struct Shared {
+    state: Mutex<u64>,
+}
+
+fn handle_sweep(shared: &Shared, entry: &Arc<Mutex<u64>>) -> u64 {
+    let mut state = shared.state.lock().unwrap();
+    *state += 1;
+    // Declared direction: stream-entry is taken under state. Legal on its
+    // own, but it arms one half of the ABBA pair.
+    let mut slot = entry.lock().unwrap();
+    *slot += *state;
+    *slot
+}
+
+fn handle_frame(shared: &Shared, entry: &Arc<Mutex<u64>>) -> u64 {
+    let mut frame = entry.lock().unwrap();
+    *frame += 1;
+    // BUG: stats merge re-enters the global lock while the per-stream guard
+    // is still live — the inverted half of the deadlock.
+    let mut state = shared.state.lock().unwrap();
+    *state += *frame;
+    *state
+}

@@ -1,0 +1,50 @@
+//! Known-good fixture: the post-fix PR-7 serve-path lock discipline.
+//!
+//! Exercises every guard-lifetime shape the lock pass models: block-scoped
+//! guards, explicit `drop(...)`, `if let` bindings attached to their block,
+//! an in-order three-class chain, and the budget-tokens leaf.
+
+use std::sync::{Arc, Mutex};
+
+struct Shared {
+    state: Mutex<u64>,
+    tokens: Mutex<u64>,
+}
+
+fn handle_frame(shared: &Shared, entry: &Arc<Mutex<u64>>) -> u64 {
+    // Identity is resolved under the state lock alone, inside a block whose
+    // end releases the guard before the entry lock is taken.
+    let seed = {
+        let mut state = shared.state.lock().unwrap();
+        *state += 1;
+        *state
+    };
+    let mut frame = entry.lock().unwrap();
+    *frame += seed;
+    let stats = *frame;
+    // The per-stream guard dies before the stats merge re-enters state.
+    drop(frame);
+    let mut state = shared.state.lock().unwrap();
+    *state += stats;
+    *state
+}
+
+fn handle_sweep(shared: &Shared, entry: &Arc<Mutex<u64>>, slot: &Mutex<u64>) -> u64 {
+    // The full declared chain, strictly increasing in rank.
+    let state = shared.state.lock().unwrap();
+    let entry = entry.lock().unwrap();
+    let mut slot = slot.lock().unwrap();
+    *slot += *state + *entry;
+    *slot
+}
+
+fn recover(shared: &Shared) -> u64 {
+    // An `if let` guard attaches to the block that follows it and is gone
+    // once that block closes.
+    if let Ok(mut state) = shared.state.lock() {
+        *state += 1;
+    }
+    let mut tokens = shared.tokens.lock().unwrap();
+    *tokens += 1;
+    *tokens
+}

@@ -1,0 +1,26 @@
+//! Known-bad fixture for the panic-surface audit: unannotated panics
+//! reachable from `handle_connection`, one of them through a helper.
+
+fn handle_connection(buf: &[u8]) -> u32 {
+    // BUG: malformed input kills the handler thread.
+    let first = parse(buf).unwrap();
+    first + checksum(buf)
+}
+
+fn parse(buf: &[u8]) -> Option<u32> {
+    if buf.len() > 64 {
+        panic!("oversized request");
+    }
+    buf.first().map(|b| u32::from(*b))
+}
+
+fn checksum(buf: &[u8]) -> u32 {
+    buf.iter().map(|b| u32::from(*b)).sum()
+}
+
+/// Setup-path code is not reachable from the handler roots: this unwrap
+/// must NOT be flagged.
+fn build_server() -> Vec<u32> {
+    let capacity: u32 = "64".parse().unwrap();
+    Vec::with_capacity(capacity as usize)
+}

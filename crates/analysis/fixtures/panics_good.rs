@@ -1,0 +1,21 @@
+//! Known-good fixture for the panic-surface audit: the handler path either
+//! returns errors or carries a justified annotation.
+
+fn handle_connection(buf: &[u8]) -> Result<u32, String> {
+    let first = parse(buf)?;
+    // lint:allow(panic): the length guard in `parse` bounds the slice, so
+    // the division is by a non-zero constant.
+    let scaled = first.checked_div(4).expect("constant divisor");
+    Ok(scaled + checksum(buf))
+}
+
+fn parse(buf: &[u8]) -> Result<u32, String> {
+    match buf.first() {
+        Some(b) => Ok(u32::from(*b)),
+        None => Err("empty request".to_string()),
+    }
+}
+
+fn checksum(buf: &[u8]) -> u32 {
+    buf.iter().map(|b| u32::from(*b)).sum()
+}

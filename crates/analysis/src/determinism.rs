@@ -1,0 +1,204 @@
+//! Determinism lints over result-affecting modules.
+//!
+//! The repo pins byte-identical exports (CSV/JSON reports, rule books,
+//! protocol payloads), so two things are banned in the modules that feed
+//! them unless explicitly annotated:
+//!
+//! * **Hash-order iteration** — any `.iter()`-family call or `for` loop over
+//!   a `HashMap`/`HashSet` named local, field, or static. Iteration order is
+//!   randomized per process, so it may only feed order-insensitive
+//!   reductions or sorted collections, stated via
+//!   `// lint:allow(hash-iter): reason`.
+//! * **Wall-clock reads** — `SystemTime::now()`, `Instant::now()`, and
+//!   thread-id reads. Timing-only uses (deadlines, throughput reports) are
+//!   annotated with `// lint:allow(wall-clock): reason`.
+//!
+//! Hash-typed names are discovered syntactically: a `name: …HashMap…` field
+//! or typed binding, or a `let name = …HashMap/HashSet…;` initializer.
+
+use crate::lexer::TokKind;
+use crate::source::{Finding, SourceFile};
+use std::collections::BTreeSet;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
+    let names = hash_names(file);
+    let mut findings = Vec::new();
+    let toks = file.toks();
+    for i in 0..toks.len() {
+        if file.in_tests(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let tok = &toks[i];
+        // name.iter() / recv.name.keys() / …
+        if ITER_METHODS.contains(&tok.text.as_str())
+            && i >= 2
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks[i - 2].kind == TokKind::Ident
+            && names.contains(&toks[i - 2].text)
+        {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                lint: "hash-iter",
+                message: format!(
+                    "`{}.{}()` iterates a HashMap/HashSet in nondeterministic order in a \
+                     result-affecting module",
+                    toks[i - 2].text,
+                    tok.text
+                ),
+            });
+        }
+        // for pat in name { … }
+        if tok.is_ident("for") {
+            if let Some(name_line) = for_loop_over(file, i, &names) {
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: name_line.1,
+                    lint: "hash-iter",
+                    message: format!(
+                        "`for … in {}` iterates a HashMap/HashSet in nondeterministic order in a \
+                         result-affecting module",
+                        name_line.0
+                    ),
+                });
+            }
+        }
+        // SystemTime::now() / Instant::now()
+        if (tok.is_ident("SystemTime") || tok.is_ident("Instant"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                lint: "wall-clock",
+                message: format!(
+                    "`{}::now()` read in a result-affecting module; annotate timing-only uses",
+                    tok.text
+                ),
+            });
+        }
+        // thread::current().id()
+        if tok.is_ident("current")
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("thread")
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("id"))
+        {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                lint: "wall-clock",
+                message: "thread-id read in a result-affecting module".to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// If the `for` at token `i` loops directly over a hash-named variable,
+/// returns (name, line of the name token).
+fn for_loop_over(file: &SourceFile, i: usize, names: &BTreeSet<String>) -> Option<(String, usize)> {
+    let toks = file.toks();
+    let mut nest = 0i64;
+    let mut j = i + 1;
+    // Find the `in` of this loop header (patterns may contain parens).
+    loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Punct('(' | '[') => nest += 1,
+            TokKind::Punct(')' | ']') => nest -= 1,
+            TokKind::Punct('{' | ';') => return None,
+            TokKind::Ident if nest == 0 && t.is_ident("in") => break,
+            _ => {}
+        }
+        j += 1;
+        if j > i + 32 {
+            return None;
+        }
+    }
+    let mut k = j + 1;
+    while toks
+        .get(k)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+    {
+        k += 1;
+    }
+    let name = toks.get(k)?;
+    if name.kind == TokKind::Ident
+        && names.contains(&name.text)
+        && toks.get(k + 1).is_some_and(|t| t.is_punct('{'))
+    {
+        return Some((name.text.clone(), name.line));
+    }
+    None
+}
+
+/// Names whose type or initializer mentions `HashMap`/`HashSet`, outside
+/// test modules: struct fields, typed bindings/params, and `let` inits.
+fn hash_names(file: &SourceFile) -> BTreeSet<String> {
+    let toks = file.toks();
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if file.in_tests(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name: …HashMap…` up to a delimiter at angle-depth zero.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            let mut angle = 0i64;
+            for j in i + 2..(i + 64).min(toks.len()) {
+                match toks[j].kind {
+                    TokKind::Punct('<') => angle += 1,
+                    TokKind::Punct('>') => angle -= 1,
+                    TokKind::Punct(',' | ';' | '{' | '}' | ')' | '=') if angle <= 0 => break,
+                    TokKind::Ident
+                        if toks[j].is_ident("HashMap") || toks[j].is_ident("HashSet") =>
+                    {
+                        names.insert(toks[i].text.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // `let [mut] name = … HashMap/HashSet …;`
+        if toks[i].is_ident("let") {
+            let mut k = i + 1;
+            while toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            let Some(name) = toks.get(k) else { continue };
+            if name.kind != TokKind::Ident {
+                continue;
+            }
+            for t in &toks[k + 1..(k + 128).min(toks.len())] {
+                match t.kind {
+                    TokKind::Punct(';') => break,
+                    TokKind::Ident if t.is_ident("HashMap") || t.is_ident("HashSet") => {
+                        names.insert(name.text.clone());
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}

@@ -1,0 +1,205 @@
+//! `spade-lint`: a dependency-free static analyzer for this repository's
+//! concurrency and determinism invariants.
+//!
+//! Three passes run over a hand-rolled token stream (no `syn`; the build
+//! container has no registry access, and the passes only pattern-match):
+//!
+//! 1. **Lock order** ([`locks`]) — serve-path mutex acquisitions must follow
+//!    the declared order `state → stream-entry → inflight-slot` (budget
+//!    tokens are a leaf). Inversions and cross-function cycles are findings.
+//! 2. **Determinism** ([`determinism`]) — result-affecting modules may not
+//!    iterate hash containers or read wall clocks without an annotation.
+//! 3. **Panic surface** ([`panics`]) — potential panics reachable from the
+//!    request-handling call graph must be individually justified.
+//!
+//! Suppressions use `// lint:allow(<lint>): <reason>` with a mandatory
+//! reason; `spade-lint --summary` renders them all for the committed
+//! allowlist (`crates/analysis/ALLOWLIST.md`) that CI diffs against.
+
+pub mod determinism;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod source;
+
+use source::{Finding, SourceFile};
+use std::path::Path;
+
+/// Files the lock-order pass walks.
+pub const LOCK_FILES: &[&str] = &["crates/bench/src/serve.rs", "crates/bench/src/pool.rs"];
+
+/// Result-affecting modules: anything that feeds a pinned byte-identical
+/// export (reports, rule books, protocol payloads, DSE tables).
+pub const DETERMINISM_FILES: &[&str] = &[
+    "crates/baselines/src/pointacc.rs",
+    "crates/bench/src/dse.rs",
+    "crates/bench/src/loadgen.rs",
+    "crates/bench/src/protocol.rs",
+    "crates/bench/src/serve.rs",
+    "crates/bench/src/workload.rs",
+    "crates/core/src/report.rs",
+    "crates/nn/src/graph.rs",
+    "crates/nn/src/pruning.rs",
+    "crates/nn/src/rulegen/delta.rs",
+    "crates/nn/src/rulegen/hash.rs",
+    "crates/nn/src/rulegen/mod.rs",
+    "crates/nn/src/rulegen/sort.rs",
+    "crates/nn/src/rulegen/streaming.rs",
+    "crates/tensor/src/coord.rs",
+];
+
+/// Files whose call graph the panic-surface audit covers.
+pub const PANIC_FILES: &[&str] = &["crates/bench/src/serve.rs", "crates/bench/src/protocol.rs"];
+
+/// Everything one full run produces.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Count of findings an annotation suppressed.
+    pub suppressed: usize,
+    /// `(file, lint, reason)` of every parsed annotation, for the summary.
+    pub allows: Vec<(String, String, String)>,
+}
+
+/// Runs all three passes over the workspace at `root`.
+pub fn analyze_tree(root: &Path) -> Result<Analysis, String> {
+    let mut rels: Vec<&str> = LOCK_FILES
+        .iter()
+        .chain(DETERMINISM_FILES)
+        .chain(PANIC_FILES)
+        .copied()
+        .collect();
+    rels.sort_unstable();
+    rels.dedup();
+    let mut files = Vec::new();
+    for rel in rels {
+        files.push(load(root, rel)?);
+    }
+    let by_rel = |rel: &str| files.iter().position(|f| f.rel == rel);
+
+    let mut analysis = Analysis::default();
+    let lock_files: Vec<&SourceFile> = LOCK_FILES
+        .iter()
+        .filter_map(|r| by_rel(r))
+        .map(|i| &files[i])
+        .collect();
+    let panic_files: Vec<&SourceFile> = PANIC_FILES
+        .iter()
+        .filter_map(|r| by_rel(r))
+        .map(|i| &files[i])
+        .collect();
+
+    let mut raw: Vec<Finding> = Vec::new();
+    raw.extend(locks::lock_order_pass(&lock_files));
+    for rel in DETERMINISM_FILES {
+        if let Some(i) = by_rel(rel) {
+            raw.extend(determinism::determinism_pass(&files[i]));
+        }
+    }
+    raw.extend(panics::panic_pass(&panic_files));
+    for file in &files {
+        raw.extend(file.malformed.iter().cloned());
+        for a in &file.allows {
+            analysis
+                .allows
+                .push((file.rel.clone(), a.lint.clone(), a.reason.clone()));
+        }
+    }
+    finish(&files, raw, &mut analysis);
+    Ok(analysis)
+}
+
+/// Runs a single pass over explicit file paths (fixtures, ad-hoc checks).
+pub enum Pass {
+    LockOrder,
+    Determinism,
+    Panics,
+}
+
+pub fn analyze_files(paths: &[String], pass: &Pass) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    for p in paths {
+        let src = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        files.push(SourceFile::parse(p, &src));
+    }
+    let refs: Vec<&SourceFile> = files.iter().collect();
+    let mut raw = match pass {
+        Pass::LockOrder => locks::lock_order_pass(&refs),
+        Pass::Determinism => refs
+            .iter()
+            .flat_map(|f| determinism::determinism_pass(f))
+            .collect(),
+        Pass::Panics => panics::panic_pass(&refs),
+    };
+    for file in &files {
+        raw.extend(file.malformed.iter().cloned());
+    }
+    let mut analysis = Analysis::default();
+    for file in &files {
+        for a in &file.allows {
+            analysis
+                .allows
+                .push((file.rel.clone(), a.lint.clone(), a.reason.clone()));
+        }
+    }
+    finish(&files, raw, &mut analysis);
+    Ok(analysis)
+}
+
+fn load(root: &Path, rel: &str) -> Result<SourceFile, String> {
+    let path = root.join(rel);
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(SourceFile::parse(rel, &src))
+}
+
+/// Applies annotation suppression and sorts what remains.
+fn finish(files: &[SourceFile], raw: Vec<Finding>, analysis: &mut Analysis) {
+    for finding in raw {
+        let allowed = files
+            .iter()
+            .find(|f| f.rel == finding.file)
+            .is_some_and(|f| f.allowed(finding.lint, finding.line));
+        if allowed {
+            analysis.suppressed += 1;
+        } else {
+            analysis.findings.push(finding);
+        }
+    }
+    analysis.findings.sort();
+    analysis.findings.dedup();
+    analysis.allows.sort();
+}
+
+/// Renders the committed allowlist. Deliberately line-number-free so the
+/// file stays stable under unrelated edits; CI diffs it to make every new
+/// suppression visible in review.
+pub fn render_summary(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    out.push_str("# spade-lint allowlist\n\n");
+    out.push_str(
+        "Every `lint:allow` annotation in the tree, by file. Regenerate with:\n\n\
+         ```\n\
+         cargo run -q -p spade-analysis --bin spade-lint -- --summary > crates/analysis/ALLOWLIST.md\n\
+         ```\n\n",
+    );
+    let mut last_file = "";
+    for (file, lint, reason) in &analysis.allows {
+        if file != last_file {
+            out.push_str(&format!("\n## {file}\n\n"));
+            last_file = file;
+        }
+        out.push_str(&format!("- **{lint}** — {reason}\n"));
+    }
+    out.push_str(&format!(
+        "\n---\n{} annotations across {} files.\n",
+        analysis.allows.len(),
+        analysis
+            .allows
+            .iter()
+            .map(|(f, _, _)| f)
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    ));
+    out
+}

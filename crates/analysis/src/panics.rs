@@ -1,0 +1,137 @@
+//! Panic-surface audit of the request-handling call graph.
+//!
+//! A panic in a handler thread kills one connection silently (or poisons a
+//! lock for everyone else), so every potentially-panicking site reachable
+//! from the serve path must carry a `// lint:allow(panic): reason`
+//! annotation stating why it cannot fire on malformed input.
+//!
+//! Reachability is computed over the functions defined in the audited files
+//! (`serve.rs`, `protocol.rs`): edges are `name(…)` / `.name(…)` calls that
+//! match a defined function name (macros — `name!(…)` — excluded), rooted at
+//! `handle_connection`, `accept_loop`, and every `fn drop` (Drop impls run
+//! on handler unwind paths). Test-module functions are out of scope. Calls
+//! into other crates are deliberately not followed: the audit bounds the
+//! serve layer itself, not the simulator underneath it.
+
+use crate::lexer::TokKind;
+use crate::source::{Finding, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+pub const PANIC_ROOTS: &[&str] = &["handle_connection", "accept_loop", "drop"];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+pub fn panic_pass(files: &[&SourceFile]) -> Vec<Finding> {
+    // name → every production definition site (collisions union, which is
+    // conservative: a flagged site is never hidden by a same-named sibling).
+    let mut defs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for (gi, func) in file.fns.iter().enumerate() {
+            if !file.in_tests(func.body.start) {
+                defs.entry(func.name.as_str()).or_default().push((fi, gi));
+            }
+        }
+    }
+    // BFS from the roots, remembering one parent per function for the
+    // "reachable via …" chain in messages.
+    let mut parent: BTreeMap<(usize, usize), Option<(usize, usize)>> = BTreeMap::new();
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for root in PANIC_ROOTS {
+        for &site in defs.get(root).into_iter().flatten() {
+            parent.entry(site).or_insert(None);
+            queue.push_back(site);
+        }
+    }
+    while let Some(site) = queue.pop_front() {
+        let (fi, gi) = site;
+        for callee in calls_in(files[fi], gi) {
+            for &next in defs.get(callee.as_str()).into_iter().flatten() {
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(next) {
+                    e.insert(Some(site));
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for &site in parent.keys() {
+        let (fi, gi) = site;
+        let file = files[fi];
+        let func = &file.fns[gi];
+        let chain = root_chain(&parent, files, site);
+        let toks = file.toks();
+        for i in func.body.clone() {
+            let tok = &toks[i];
+            if tok.kind != TokKind::Ident {
+                continue;
+            }
+            let method_panic = matches!(tok.text.as_str(), "unwrap" | "expect")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let macro_panic = PANIC_MACROS.contains(&tok.text.as_str())
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if method_panic || macro_panic {
+                let what = if method_panic {
+                    format!(".{}()", tok.text)
+                } else {
+                    format!("{}!", tok.text)
+                };
+                findings.push(Finding {
+                    file: file.rel.clone(),
+                    line: tok.line,
+                    lint: "panic",
+                    message: format!(
+                        "`{what}` in the request-handling path ({chain}); annotate with \
+                         lint:allow(panic) or return an error",
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Callee names invoked from function `gi` of `file`: identifiers followed
+/// by `(`, excluding macro invocations and the definition's own `fn` name.
+fn calls_in(file: &SourceFile, gi: usize) -> BTreeSet<String> {
+    let func = &file.fns[gi];
+    let toks = file.toks();
+    let mut out = BTreeSet::new();
+    for i in func.body.clone() {
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !(i >= 1 && toks[i - 1].is_ident("fn"))
+        {
+            out.insert(toks[i].text.clone());
+        }
+    }
+    out
+}
+
+/// Renders `reachable via accept_loop → handle_sweep → fulfil`.
+fn root_chain(
+    parent: &BTreeMap<(usize, usize), Option<(usize, usize)>>,
+    files: &[&SourceFile],
+    site: (usize, usize),
+) -> String {
+    let mut names = Vec::new();
+    let mut at = Some(site);
+    while let Some(s) = at {
+        names.push(files[s.0].fns[s.1].name.clone());
+        at = parent.get(&s).copied().flatten();
+        if names.len() > 16 {
+            break;
+        }
+    }
+    names.reverse();
+    format!("reachable via {}", names.join(" → "))
+}

@@ -1,7 +1,8 @@
 //! Closed-loop load generator for `spade-serve`: replays a seeded
 //! Zipfian mix of DSE sweep requests and reports throughput, latency
-//! percentiles (overall and split cold/warm by the server's cache-hit
-//! flag), and the measured vs analytic cache hit-rate.
+//! percentiles (overall and split cold/warm by the server's admission
+//! flags — `hit=1` cache hits and `join=1` in-flight joins are both
+//! warm), and the measured vs analytic warm rate.
 //!
 //! Usage:
 //!
@@ -116,8 +117,8 @@ fn main() {
             report.errors,
         );
         println!(
-            "hit-rate {:.3} (analytic expectation {expected:.3})",
-            report.hit_rate
+            "warm rate {:.3} (analytic expectation {expected:.3}; {} in-flight joins counted warm)",
+            report.hit_rate, report.joined
         );
         println!(
             "latency ms: p50 {:.3} p99 {:.3} | cold p50 {:.3} p99 {:.3} | warm p50 {:.3} p99 {:.3}",

@@ -14,11 +14,16 @@
 //! is honest end-to-end service time (queueing included) and the offered
 //! load never outruns the server.
 //!
-//! Latencies are split by the server's `hit=` meta flag: *cold* requests
-//! executed a sweep (or parked on one in flight), *warm* requests were
-//! served from the completed-result cache. The ISSUE's service
-//! acceptance bar — warm p99 at least an order of magnitude under cold
-//! p99 — falls directly out of [`LoadgenReport`].
+//! Latencies are split by the server's admission flags: *cold* requests
+//! executed a sweep themselves; *warm* requests were served without
+//! executing anything — from the completed-result cache (`hit=1`) or by
+//! joining an identical in-flight sweep (`join=1`). Counting joins as
+//! warm makes the measured warm rate match [`expected_hit_rate`] under
+//! concurrency too: the analytic model only distinguishes "first request
+//! of a key" from "the rest", and a join is just a repeat that arrived
+//! before the first finished. The ISSUE's service acceptance bar — warm
+//! p99 at least an order of magnitude under cold p99 — falls directly
+//! out of [`LoadgenReport`].
 
 use crate::dse::DseParams;
 use crate::protocol::{encode_request, read_frame, write_frame, Request, Response};
@@ -139,7 +144,17 @@ pub struct LoadgenConfig {
 #[derive(Debug, Clone, Copy)]
 struct Sample {
     latency: Duration,
+    /// Served from the completed-result cache (`hit=1`).
     hit: bool,
+    /// Joined an identical in-flight sweep (`join=1`).
+    join: bool,
+}
+
+impl Sample {
+    /// Warm = the request executed nothing itself.
+    fn warm(&self) -> bool {
+        self.hit || self.join
+    }
 }
 
 /// The measured result of a load run.
@@ -153,19 +168,25 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Completed requests per second.
     pub throughput_rps: f64,
-    /// Fraction of completed requests served from the result cache.
+    /// Fraction of completed requests served warm: a cache hit (`hit=1`)
+    /// or an in-flight join (`join=1`). Comparable to
+    /// [`expected_hit_rate`] at any connection count.
     pub hit_rate: f64,
+    /// Requests that joined an identical in-flight sweep (warm, but not
+    /// cache hits — the gap between `hit_rate` and the server's own
+    /// `cache_hit_rate` counter under concurrency).
+    pub joined: usize,
     /// Latency percentiles over every completed request (ms).
     pub p50_ms: f64,
     /// 99th percentile over every completed request (ms).
     pub p99_ms: f64,
-    /// Median over cache-miss (executed or deduped) requests (ms).
+    /// Median over cold (sweep-executing) requests (ms).
     pub cold_p50_ms: f64,
-    /// 99th percentile over cache-miss requests (ms).
+    /// 99th percentile over cold requests (ms).
     pub cold_p99_ms: f64,
-    /// Median over cache-hit requests (ms).
+    /// Median over warm (hit or join) requests (ms).
     pub warm_p50_ms: f64,
-    /// 99th percentile over cache-hit requests (ms).
+    /// 99th percentile over warm requests (ms).
     pub warm_p99_ms: f64,
 }
 
@@ -186,15 +207,16 @@ impl LoadgenReport {
         let mut all: Vec<f64> = samples.iter().map(|s| ms(s.latency)).collect();
         let mut cold: Vec<f64> = samples
             .iter()
-            .filter(|s| !s.hit)
+            .filter(|s| !s.warm())
             .map(|s| ms(s.latency))
             .collect();
         let mut warm: Vec<f64> = samples
             .iter()
-            .filter(|s| s.hit)
+            .filter(|s| s.warm())
             .map(|s| ms(s.latency))
             .collect();
-        let hits = warm.len();
+        let warm_count = warm.len();
+        let joined = samples.iter().filter(|s| s.join).count();
         Self {
             requests: samples.len(),
             errors,
@@ -207,8 +229,9 @@ impl LoadgenReport {
             hit_rate: if samples.is_empty() {
                 0.0
             } else {
-                hits as f64 / samples.len() as f64
+                warm_count as f64 / samples.len() as f64
             },
+            joined,
             p50_ms: percentile_ms(&mut all, 0.50),
             p99_ms: percentile_ms(&mut all, 0.99),
             cold_p50_ms: percentile_ms(&mut cold, 0.50),
@@ -228,6 +251,7 @@ impl LoadgenReport {
             "zipf_exponent",
             "seed",
             "errors",
+            "joined",
             "elapsed_ms",
             "throughput_rps",
             "hit_rate",
@@ -245,6 +269,7 @@ impl LoadgenReport {
             ReportValue::Float(config.zipf_exponent),
             ReportValue::Int(config.seed as i64),
             ReportValue::Int(self.errors as i64),
+            ReportValue::Int(self.joined as i64),
             ReportValue::Float(self.elapsed.as_secs_f64() * 1e3),
             ReportValue::Float(self.throughput_rps),
             ReportValue::Float(self.hit_rate),
@@ -259,9 +284,11 @@ impl LoadgenReport {
     }
 }
 
-/// Issues one `SWEEP` and returns its latency and hit flag.
+/// Issues one `SWEEP` and returns its latency and admission flags.
 fn issue_sweep(stream: &mut TcpStream, params: &DseParams) -> Result<Sample, String> {
     let payload = encode_request(&Request::Sweep(params.clone()));
+    // lint:allow(wall-clock): latency measurement is the load generator's
+    // whole purpose; nothing here feeds a deterministic export.
     let start = Instant::now();
     write_frame(stream, payload.as_bytes()).map_err(|e| e.to_string())?;
     let reply = read_frame(stream)
@@ -273,6 +300,9 @@ fn issue_sweep(stream: &mut TcpStream, params: &DseParams) -> Result<Sample, Str
         ok @ Response::Ok { .. } => Ok(Sample {
             latency,
             hit: ok.meta_field("hit") == Some("1"),
+            join: ok.meta_field("join") == Some("1")
+                // Pre-join servers spell the same fact `deduped=1`.
+                || ok.meta_field("deduped") == Some("1"),
         }),
         Response::Err(message) => Err(message),
     }
@@ -301,6 +331,7 @@ pub fn run_loadgen(config: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     for socket in &sockets {
         socket.set_nodelay(true)?;
     }
+    // lint:allow(wall-clock): run wall-time for the throughput report.
     let started = Instant::now();
     let mut results: Vec<(Vec<Sample>, usize)> = Vec::with_capacity(connections);
     std::thread::scope(|scope| {
@@ -404,23 +435,28 @@ mod tests {
             Sample {
                 latency: Duration::from_millis(10),
                 hit: false,
+                join: false,
             },
             Sample {
                 latency: Duration::from_millis(1),
                 hit: true,
+                join: false,
             },
             Sample {
                 latency: Duration::from_millis(1),
                 hit: true,
+                join: false,
             },
             Sample {
                 latency: Duration::from_millis(12),
                 hit: false,
+                join: false,
             },
         ];
         let report = LoadgenReport::from_samples(&samples, Duration::from_millis(100), 1);
         assert_eq!(report.requests, 4);
         assert_eq!(report.errors, 1);
+        assert_eq!(report.joined, 0);
         assert!((report.hit_rate - 0.5).abs() < 1e-12);
         assert!((report.throughput_rps - 40.0).abs() < 1e-9);
         assert!(report.cold_p99_ms >= 12.0 - 1e-9);
@@ -439,5 +475,37 @@ mod tests {
         assert_eq!(table.num_rows(), 1);
         let json = table.to_json_object();
         assert!(json.contains("\"hit_rate\": 0.5"), "{json}");
+    }
+
+    /// In-flight joins executed nothing, so they count as warm: the warm
+    /// rate then matches the analytic hit-rate expectation even when
+    /// concurrency turns would-be cache hits into joins (the 0.964 vs
+    /// 0.984 gap PR 7 measured was exactly its 10 uncounted joins).
+    #[test]
+    fn joins_count_as_warm_in_rate_and_percentiles() {
+        let samples = [
+            Sample {
+                latency: Duration::from_millis(20),
+                hit: false,
+                join: false,
+            },
+            Sample {
+                latency: Duration::from_millis(18),
+                hit: false,
+                join: true,
+            },
+            Sample {
+                latency: Duration::from_millis(1),
+                hit: true,
+                join: false,
+            },
+        ];
+        let report = LoadgenReport::from_samples(&samples, Duration::from_millis(50), 0);
+        assert_eq!(report.joined, 1);
+        assert!((report.hit_rate - 2.0 / 3.0).abs() < 1e-12, "join is warm");
+        // The join's latency lands in the warm split (joins wait on the
+        // executor, so warm p99 reflects that), not the cold one.
+        assert!(report.warm_p99_ms >= 18.0 - 1e-9);
+        assert!((report.cold_p50_ms - 20.0).abs() < 1e-9);
     }
 }

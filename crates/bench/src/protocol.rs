@@ -15,7 +15,14 @@
 //!   [`spade_nn::FrameDeltaState`], `STATS`, `PING`, and `SHUTDOWN`.
 //! * **Responses** — `OK <meta>` on the first line (space-separated
 //!   `key=value` tokens, e.g. `hit=1`) with the body (CSV grid, stats
-//!   lines) on the following lines, or `ERR <message>`.
+//!   lines) on the following lines, or `ERR <message>`. A `SWEEP` reply
+//!   carries three admission flags: `hit=1` (served from the completed-
+//!   result cache), `join=1` (parked on an identical in-flight sweep and
+//!   received its result; `deduped=1` is the legacy spelling of the same
+//!   flag), or all zeros (this request executed the sweep). Load
+//!   generators count `hit=1` and `join=1` both as *warm* — neither ran
+//!   anything — so measured warm rates match the analytic hit-rate
+//!   expectation even when concurrency converts cache hits into joins.
 //!
 //! ## Canonical parameter form
 //!
@@ -60,6 +67,8 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
             ),
         ));
     }
+    // lint:allow(panic): the guard above caps len at MAX_FRAME_BYTES,
+    // which fits u32 by construction.
     let len = u32::try_from(payload.len()).expect("bounded by MAX_FRAME_BYTES");
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
@@ -536,6 +545,8 @@ pub fn canonicalize_params(params: &DseParams) -> DseParams {
     let mut canon = params.clone();
     canon.num_frames = canon.num_frames.max(1);
     let zoo_index = |m: ModelKind| {
+        // lint:allow(panic): ModelKind::ALL enumerates the whole enum, so
+        // the position lookup cannot miss.
         ModelKind::ALL
             .iter()
             .position(|&k| k == m)

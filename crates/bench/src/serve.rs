@@ -46,8 +46,138 @@ use std::collections::HashMap;
 use std::io::Read as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Runtime witness for the declared lock order (`state → stream-entry →
+/// inflight-slot`, the order `spade-lint`'s static pass enforces on this
+/// file). Debug builds track the ranks each thread holds and panic the
+/// moment any thread acquires a rank less than or equal to one it already
+/// holds — the exact ABBA interleaving PR 7's review found is caught on
+/// first execution instead of when the schedules happen to collide.
+/// Release builds compile the whole witness to nothing.
+pub(crate) mod lockdep {
+    /// Lock ranks in declared acquisition order. A thread may only acquire
+    /// strictly increasing ranks; re-acquiring a held rank is self-deadlock
+    /// and is reported the same way.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum Rank {
+        /// The global [`super::ServerState`] mutex.
+        State = 0,
+        /// A per-(drive, model) [`super::StreamEntry`] mutex.
+        StreamEntry = 1,
+        /// An [`super::Inflight`] result-slot mutex.
+        InflightSlot = 2,
+    }
+
+    #[cfg(debug_assertions)]
+    mod witness {
+        use super::Rank;
+        use std::cell::RefCell;
+
+        impl Rank {
+            fn name(self) -> &'static str {
+                match self {
+                    Rank::State => "state",
+                    Rank::StreamEntry => "stream-entry",
+                    Rank::InflightSlot => "inflight-slot",
+                }
+            }
+        }
+
+        thread_local! {
+            static HELD: RefCell<Vec<Rank>> = const { RefCell::new(Vec::new()) };
+        }
+
+        /// Proof that this thread claimed `rank`; releases it on drop. Keep
+        /// it alive exactly as long as the guard of the lock it describes.
+        pub struct Held {
+            rank: Rank,
+        }
+
+        /// Claims `rank` for the current thread, panicking on any ordering
+        /// violation. Call *before* blocking on the lock itself so an
+        /// inversion is reported instead of deadlocking the test run.
+        pub fn acquire(rank: Rank) -> Held {
+            HELD.with(|held| {
+                let worst = held.borrow().iter().copied().find(|&h| h >= rank);
+                if let Some(worst) = worst {
+                    // lint:allow(panic): the witness exists to panic debug
+                    // builds on lock-order inversions before they deadlock.
+                    panic!(
+                        "lockdep: lock-order inversion: acquiring '{}' while holding '{}' \
+                         (declared order: state → stream-entry → inflight-slot)",
+                        rank.name(),
+                        worst.name()
+                    );
+                }
+                held.borrow_mut().push(rank);
+            });
+            Held { rank }
+        }
+
+        impl Drop for Held {
+            fn drop(&mut self) {
+                HELD.with(|held| {
+                    let mut held = held.borrow_mut();
+                    if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                        held.remove(pos);
+                    }
+                });
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    mod witness {
+        /// Zero-sized stand-in: release builds carry no witness state.
+        pub struct Held;
+
+        /// No-op in release builds.
+        #[inline(always)]
+        pub fn acquire(_rank: super::Rank) -> Held {
+            Held
+        }
+    }
+
+    pub use witness::{acquire, Held};
+}
+
+/// A [`MutexGuard`] paired with its lockdep claim, so dropping the guard
+/// (explicitly via `drop(...)` or at scope end) releases the witness rank
+/// at the same moment the lock itself is released.
+pub(crate) struct RankedGuard<'a, T> {
+    guard: MutexGuard<'a, T>,
+    _held: lockdep::Held,
+}
+
+impl<T> std::ops::Deref for RankedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for RankedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+/// The one acquisition path for ranked locks: claims the rank with the
+/// debug witness, then blocks on the mutex. `spade-lint`'s static pass
+/// recognises `lock_ranked(&..., Rank::X)` calls as acquisition sites of
+/// class `X`.
+fn lock_ranked<'a, T>(lock: &'a Mutex<T>, rank: lockdep::Rank) -> RankedGuard<'a, T> {
+    let held = lockdep::acquire(rank);
+    RankedGuard {
+        // lint:allow(panic): a poisoned lock means another handler thread
+        // already panicked mid-update; escalating loudly beats serving the
+        // half-written state it left behind.
+        guard: lock.lock().expect("lock poisoned"),
+        _held: held,
+    }
+}
 
 /// How the server binds and how much work it admits at once.
 #[derive(Debug, Clone)]
@@ -150,6 +280,10 @@ impl ResultCache {
         // evict the entry just inserted — an oversized single result is
         // still worth serving warm.
         while self.bytes > self.max_bytes && self.entries.len() > 1 {
+            // lint:allow(hash-iter): `last_used` stamps are unique (the
+            // clock increments on every get/insert), so the minimum is the
+            // same whatever order the map iterates in.
+            // lint:allow(panic): the loop condition guarantees len() > 1.
             let coldest = self
                 .entries
                 .iter()
@@ -173,16 +307,25 @@ struct Inflight {
 
 impl Inflight {
     fn fulfil(&self, result: Result<Arc<str>, String>) {
+        let _held = lockdep::acquire(lockdep::Rank::InflightSlot);
+        // lint:allow(panic): the slot is only locked for a field store or a
+        // clone — a poisoned slot means the process is already unwinding.
         *self.slot.lock().expect("inflight lock") = Some(result);
         self.done.notify_all();
     }
 
     fn wait(&self) -> Result<Arc<str>, String> {
+        // The rank stays claimed across the condvar park: the wait
+        // re-acquires the same mutex, so the thread still owns the rank.
+        let _held = lockdep::acquire(lockdep::Rank::InflightSlot);
+        // lint:allow(panic): see fulfil — a poisoned slot is a process
+        // already unwinding, not a malformed request.
         let mut slot = self.slot.lock().expect("inflight lock");
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
+            // lint:allow(panic): same poisoning argument as the lock above.
             slot = self.done.wait(slot).expect("inflight lock");
         }
     }
@@ -242,6 +385,7 @@ impl StreamEntry {
             let scenario = DriveScenario::new(self.preset.clone(), self.scenario_config.clone());
             self.frames = Some(scenario.frames());
         }
+        // lint:allow(panic): the branch above just filled the option.
         self.frames.as_deref().expect("generated above")
     }
 }
@@ -280,6 +424,11 @@ impl StreamSlot {
 /// entry lock; stats publication re-takes `state` only after the entry
 /// guard is dropped. Holding both in either order would let two concurrent
 /// `FRAME` requests for one drive deadlock every handler thread.
+///
+/// The discipline is machine-checked twice over: statically by
+/// `spade-lint`'s lock-order pass (declared order `state → stream-entry →
+/// inflight-slot`) and at runtime by the [`lockdep`] witness, which panics
+/// debug builds on the first out-of-order acquisition.
 struct Shared {
     state: Mutex<ServerState>,
     shutdown: AtomicBool,
@@ -382,7 +531,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Ok(None) | Err(_) => return,
         };
         {
-            let mut st = shared.state.lock().expect("state lock");
+            let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
             st.stats.requests_total += 1;
         }
         let request = match std::str::from_utf8(&payload) {
@@ -401,7 +550,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Err(message) => (Response::Err(message), false),
         };
         if matches!(response, Response::Err(_)) {
-            let mut st = shared.state.lock().expect("state lock");
+            let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
             st.stats.errors += 1;
         }
         if write_frame(&mut stream, response.encode().as_bytes()).is_err() || stop {
@@ -465,6 +614,8 @@ fn read_exact_patient(
     buf: &mut [u8],
     shutdown: &AtomicBool,
 ) -> std::io::Result<()> {
+    // lint:allow(wall-clock): stall-deadline bookkeeping only — the clock
+    // gates connection teardown and never feeds an exported value.
     let deadline = std::time::Instant::now() + MID_FRAME_STALL_LIMIT;
     let mut filled = 0;
     while filled < buf.len() {
@@ -486,6 +637,7 @@ fn read_exact_patient(
                         "server shutting down mid-frame",
                     ));
                 }
+                // lint:allow(wall-clock): stall-deadline check, timing only.
                 if std::time::Instant::now() >= deadline {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::TimedOut,
@@ -511,7 +663,7 @@ fn handle_sweep(shared: &Shared, params: &DseParams) -> Response {
     let canonical = canonicalize_params(params);
     let key = encode_params(&canonical);
     let role = {
-        let mut st = shared.state.lock().expect("state lock");
+        let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
         st.stats.sweeps_requested += 1;
         if let Some(body) = st.cache.get(&key) {
             st.stats.cache_hits += 1;
@@ -527,9 +679,12 @@ fn handle_sweep(shared: &Shared, params: &DseParams) -> Response {
         }
     };
     match role {
-        SweepRole::Hit(body) => Response::ok("hit=1 deduped=0", &*body),
+        SweepRole::Hit(body) => Response::ok("hit=1 deduped=0 join=0", &*body),
+        // `join=1` marks a request that parked on an identical in-flight
+        // sweep: it did not execute anything, so load generators count it
+        // as warm alongside `hit=1` (`deduped` is the legacy spelling).
         SweepRole::Join(inflight) => match inflight.wait() {
-            Ok(body) => Response::ok("hit=0 deduped=1", &*body),
+            Ok(body) => Response::ok("hit=0 deduped=1 join=1", &*body),
             Err(message) => Response::Err(message),
         },
         SweepRole::Execute(inflight) => {
@@ -545,14 +700,14 @@ fn handle_sweep(shared: &Shared, params: &DseParams) -> Response {
             let result = run_dse_on_pool(&canonical, &pool);
             let body: Arc<str> = Arc::from(result.to_csv());
             {
-                let mut st = shared.state.lock().expect("state lock");
+                let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
                 st.stats.delta.merge(&result.delta_stats);
                 st.cache.insert(key.clone(), Arc::clone(&body));
                 st.inflight.remove(&key);
             }
             inflight.fulfil(Ok(Arc::clone(&body)));
             guard.armed = false;
-            Response::ok("hit=0 deduped=0", &*body)
+            Response::ok("hit=0 deduped=0 join=0", &*body)
         }
     }
 }
@@ -566,7 +721,7 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
     }
     let stream_key = (request.drive.clone(), request.model);
     let entry = {
-        let mut st = shared.state.lock().expect("state lock");
+        let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
         st.stats.frames_served += 1;
         let slot = st
             .streams
@@ -585,7 +740,7 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
     // only — concurrent requests for *different* drives proceed in
     // parallel; requests for the same drive serialise, which is exactly
     // the in-order contract FrameDeltaState needs.
-    let mut entry = entry.lock().expect("stream lock");
+    let mut entry = lock_ranked(&entry, lockdep::Rank::StreamEntry);
     entry.ensure_frames();
     let pruning_seed = entry.scenario_config.pruning_seed(request.index);
     let StreamEntry {
@@ -594,6 +749,8 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
         state,
         ..
     } = &mut *entry;
+    // lint:allow(panic): `ensure_frames` just populated the option, and the
+    // index was bounds-checked against `request.frames` at function entry.
     let frame = &frames.as_deref().expect("ensured above")[request.index].frame;
     let run = model_run_on_frame_delta(
         request.model,
@@ -609,7 +766,7 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
     // two are never held together (see the lock-order note on `Shared`).
     drop(entry);
     {
-        let mut st = shared.state.lock().expect("state lock");
+        let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
         st.stats.delta.merge(&frame_stats);
     }
     let meta = format!(
@@ -634,7 +791,7 @@ fn handle_frame(shared: &Shared, request: FrameRequest) -> Response {
 }
 
 fn stats_response(shared: &Shared) -> Response {
-    let st = shared.state.lock().expect("state lock");
+    let st = lock_ranked(&shared.state, lockdep::Rank::State);
     let stats = &st.stats;
     let hit_rate = if stats.sweeps_requested > 0 {
         stats.cache_hits as f64 / stats.sweeps_requested as f64
@@ -757,5 +914,97 @@ mod tests {
         assert_eq!(parsed.get("a").map(String::as_str), Some("1"));
         assert_eq!(parsed.get("b").map(String::as_str), Some("two"));
         assert_eq!(parsed.get("c").map(String::as_str), Some("3.5"));
+    }
+
+    /// Debug-build lockdep: the declared order acquired front to back is
+    /// clean, including release-and-reacquire cycles on one thread.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_accepts_the_declared_order() {
+        use lockdep::Rank;
+        let state = Mutex::new(0u32);
+        let entry = Mutex::new(0u32);
+        let slot = Mutex::new(0u32);
+        {
+            let _a = lock_ranked(&state, Rank::State);
+            let _b = lock_ranked(&entry, Rank::StreamEntry);
+            let _c = lock_ranked(&slot, Rank::InflightSlot);
+        }
+        // The admission/execution/publication shape of handle_frame:
+        // state alone, then stream-entry alone, then state again.
+        {
+            let _a = lock_ranked(&state, Rank::State);
+        }
+        let b = lock_ranked(&entry, Rank::StreamEntry);
+        drop(b);
+        let _a = lock_ranked(&state, Rank::State);
+    }
+
+    /// Debug-build lockdep: the pre-fix PR-7 ABBA interleaving — one
+    /// thread acquiring state-then-stream while another acquires
+    /// stream-then-state — panics with the inversion message on the
+    /// inverted thread instead of deadlocking the pair.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_panics_on_the_pr7_abba_interleaving() {
+        use lockdep::Rank;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let state = Mutex::new(0u32);
+        let entry_a = Mutex::new(0u32);
+        let entry_b = Mutex::new(0u32);
+        let inverted = std::thread::scope(|scope| {
+            let clean = scope.spawn(|| {
+                // Thread A: the declared order, repeatedly.
+                for _ in 0..100 {
+                    let _s = lock_ranked(&state, Rank::State);
+                    let _e = lock_ranked(&entry_a, Rank::StreamEntry);
+                }
+            });
+            let inverted = scope.spawn(|| {
+                // Thread B: the inverted order of the pre-fix stats merge.
+                // The witness claims the rank before blocking on the mutex,
+                // so this panics instead of wedging against thread A.
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _e = lock_ranked(&entry_b, Rank::StreamEntry);
+                    let _s = lock_ranked(&state, Rank::State);
+                }))
+            });
+            clean.join().expect("clean-order thread must not panic");
+            inverted.join().expect("inverted thread itself must join")
+        });
+        let payload = inverted.expect_err("the inversion must panic in debug builds");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("lock-order inversion"),
+            "unexpected panic message: {message}"
+        );
+        assert!(
+            message.contains("'state'") && message.contains("'stream-entry'"),
+            "message should name both ranks: {message}"
+        );
+    }
+
+    /// A witness panic releases the claimed ranks with the guards, so the
+    /// thread can keep taking locks in the declared order afterwards.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lockdep_recovers_after_a_reported_inversion() {
+        use lockdep::Rank;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let state = Mutex::new(0u32);
+        let entry = Mutex::new(0u32);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _e = lock_ranked(&entry, Rank::StreamEntry);
+            let _s = lock_ranked(&state, Rank::State);
+        }));
+        assert!(result.is_err());
+        // `entry` was poisoned by the unwind above; `state` was never
+        // locked, and both ranks were released, so the declared order
+        // works again.
+        let _s = lock_ranked(&state, Rank::State);
     }
 }

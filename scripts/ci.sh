@@ -4,16 +4,19 @@
 # Runs the same checks as .github/workflows/ci.yml:
 #   1. cargo fmt --check        — formatting
 #   2. cargo clippy -D warnings — lints, all targets
-#   3. cargo test -q            — unit + integration + property + doc tests
-#   4. dse smoke with --jobs 4  — the parallel sweep path, reduced grid,
+#   3. scripts/lint.sh          — spade-lint repo invariants (lock order,
+#                                 determinism, panic surface) + fixture
+#                                 self-check + allowlist drift
+#   4. cargo test -q            — unit + integration + property + doc tests
+#   5. dse smoke with --jobs 4  — the parallel sweep path, reduced grid,
 #                                 legacy drive + one scripted scenario,
 #                                 full-sweep and delta execution
-#   5. perf smoke               — reduced dse (release) vs committed reference
-#   6. serve smoke              — spade-serve + 50 spade-loadgen requests:
-#                                 hit-rate > 0, zero errors, clean SHUTDOWN,
+#   6. perf smoke               — reduced dse (release) vs committed reference
+#   7. serve smoke              — spade-serve + 50 spade-loadgen requests:
+#                                 warm rate > 0, zero errors, clean SHUTDOWN,
 #                                 wall time vs committed reference
-#   7. cargo bench --no-run     — all 13 figure benches must compile
-#   8. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
+#   8. cargo bench --no-run     — all 13 figure benches must compile
+#   9. cargo doc --no-deps      — rustdoc with warnings denied (doc rot gate)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +26,9 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> spade-lint (lock order, determinism, panic surface)"
+scripts/lint.sh
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# spade-lint gate: repo-invariant static analysis (lock order, determinism,
+# panic surface).
+#
+#   1. spade-lint over the workspace — zero unannotated findings allowed
+#   2. fixture self-check — the committed pre-fix PR-7 ABBA fixture must
+#      FAIL the lock pass, and the known-good fixture must pass, so a
+#      regression in the analyzer itself cannot silently green the gate
+#   3. allowlist drift — `spade-lint --summary` must match the committed
+#      crates/analysis/ALLOWLIST.md, so every new suppression shows up as
+#      a reviewable diff
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> spade-lint: build"
+cargo build -q -p spade-analysis
+LINT=target/debug/spade-lint
+
+echo "==> spade-lint: workspace invariants"
+"$LINT" --root .
+
+echo "==> spade-lint: fixture self-check"
+if "$LINT" --lock-order crates/analysis/fixtures/lock_order_bad.rs >/dev/null 2>&1; then
+    echo "ERROR: lock_order_bad.rs (pre-fix PR-7 ABBA shape) passed the lock pass" >&2
+    exit 1
+fi
+"$LINT" --lock-order crates/analysis/fixtures/lock_order_good.rs >/dev/null
+echo "bad fixture rejected, good fixture accepted"
+
+echo "==> spade-lint: allowlist is current"
+mkdir -p target
+"$LINT" --root . --summary > target/spade-lint-summary.md
+if ! diff -u crates/analysis/ALLOWLIST.md target/spade-lint-summary.md; then
+    echo "ERROR: crates/analysis/ALLOWLIST.md is stale. Regenerate with:" >&2
+    echo "  cargo run -q -p spade-analysis --bin spade-lint -- --summary > crates/analysis/ALLOWLIST.md" >&2
+    exit 1
+fi
+
+echo "==> spade-lint gate passed"

@@ -427,6 +427,60 @@ fn loadgen_hit_rate_matches_the_zipfian_analytic_expectation() {
     server.join();
 }
 
+/// The PR-8 join reconciliation: under concurrency the dedupe path converts
+/// would-be cache hits into in-flight joins (`join=1`), which used to drag
+/// the measured hit-rate below the analytic expectation by exactly the join
+/// count. Counting joins as warm, the identity is exact: warm requests =
+/// requests − sweeps the server actually executed, whatever the
+/// interleaving, so the warm rate matches the analytic expectation to the
+/// same tolerance as the sequential test.
+#[test]
+fn loadgen_warm_rate_counts_joins_under_concurrency() {
+    const REQUESTS: usize = 200;
+    const CATALOG: usize = 5;
+    const ZIPF: f64 = 1.0;
+    let server = test_server();
+
+    let config = LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        connections: 4, // concurrent: repeats may hit the cache OR join
+        requests: REQUESTS,
+        catalog: (0..CATALOG as u64).map(tiny_params).collect(),
+        zipf_exponent: ZIPF,
+        seed: 42,
+    };
+    let report = run_loadgen(&config).expect("loadgen run");
+    assert_eq!(report.requests, REQUESTS);
+    assert_eq!(report.errors, 0);
+
+    let expected = expected_hit_rate(&zipf_weights(CATALOG, ZIPF), REQUESTS);
+    assert!(
+        (report.hit_rate - expected).abs() < 0.05,
+        "measured warm rate {:.3} (joins {}) vs analytic {expected:.3}",
+        report.hit_rate,
+        report.joined
+    );
+
+    // Exact ledger: every request either executed a sweep or was warm.
+    let mut client = connect(&server);
+    let counters = stats(&mut client);
+    let executed: usize = counters
+        .get("sweeps_executed")
+        .expect("stats carry sweeps_executed")
+        .parse()
+        .expect("numeric counter");
+    let warm = (report.hit_rate * REQUESTS as f64).round() as usize;
+    assert_eq!(
+        warm,
+        REQUESTS - executed,
+        "warm count must equal requests minus executed sweeps (joins {})",
+        report.joined
+    );
+
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn shutdown_verb_stops_the_server_cleanly() {
     let server = test_server();
