@@ -32,6 +32,7 @@ pub const LOCK_FILES: &[&str] = &["crates/bench/src/serve.rs", "crates/bench/src
 /// export (reports, rule books, protocol payloads, DSE tables).
 pub const DETERMINISM_FILES: &[&str] = &[
     "crates/baselines/src/pointacc.rs",
+    "crates/bench/src/adaptive.rs",
     "crates/bench/src/dse.rs",
     "crates/bench/src/loadgen.rs",
     "crates/bench/src/protocol.rs",

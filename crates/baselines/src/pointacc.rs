@@ -14,41 +14,43 @@ use spade_core::{
 };
 use spade_nn::graph::LayerWorkload;
 use spade_nn::rulegen::RuleGenMethod;
-use spade_sim::{DirectMappedCache, EnergyBreakdown, EnergyModel};
-use std::cell::RefCell;
-use std::collections::HashMap;
+use spade_sim::{EnergyBreakdown, EnergyModel};
 
-/// Simulates the direct-mapped cache walk of the statistical gather model
-/// and memoises the miss count per thread.
+/// Miss count of the statistical gather walk, in closed form.
 ///
-/// The walk's address stream is a pure function of the key — `i * c + pass *
-/// 7 * line` for every input index and kernel-row pass — so the miss count
-/// depends only on `(cache_kib, cache_line, inputs, c, passes)`, not on the
-/// coordinates themselves. Multi-frame sweeps simulate the same layer shape
-/// under many design points (and, on temporally coherent drives, many frames
-/// share layer shapes exactly), so the memo turns the dominant PointAcc
-/// simulation cost into a lookup while staying bit-identical to the direct
-/// walk.
+/// The walk's address stream is `i·c + pass·7·line` for `i` ascending over
+/// the inputs — line numbers are monotonically non-decreasing within a
+/// pass, so a pass misses each distinct line it touches exactly once unless
+/// the line is still resident from the previous pass. Pass `p` touches the
+/// `W = ⌈inputs·c / line⌉` lines `[7p, 7p+W−1]` (the `p·7·line` offset is
+/// line-aligned); when it ends, the resident set is the last `min(W, N)` of
+/// them, where `N` is the cache's line count — an ascending stream evicts
+/// line `X−N` when it installs `X` and never returns to it. In the next
+/// pass a touched line `X` therefore hits iff it is resident (`X ≥
+/// 7p+W−N`) and this pass's own earlier installs have not wrapped onto it
+/// (`X < 7(p+1)+N`), a count independent of `p`:
+///
+/// ```text
+/// hits   = max(0, min(W−1, N+6) − max(W−N, 7) + 1)
+/// misses = W + (passes−1)·(W − hits)
+/// ```
+///
+/// Bit-identical to walking a [`DirectMappedCache`] access by access —
+/// pinned by `closed_form_matches_direct_walk` below — while turning the
+/// dominant PointAcc simulation cost into a handful of integer operations.
 fn cache_walk_misses(cache_kib: u64, cache_line: u64, inputs: usize, c: u64, passes: u64) -> u64 {
-    type WalkKey = (u64, u64, usize, u64, u64);
-    thread_local! {
-        static MEMO: RefCell<HashMap<WalkKey, u64>> = RefCell::new(HashMap::new());
+    if inputs == 0 || passes == 0 {
+        return 0;
     }
-    MEMO.with_borrow_mut(|memo| {
-        *memo
-            .entry((cache_kib, cache_line, inputs, c, passes))
-            .or_insert_with(|| {
-                let mut cache = DirectMappedCache::new(cache_kib, cache_line);
-                let mut misses: u64 = 0;
-                for pass in 0..passes {
-                    for i in 0..inputs as u64 {
-                        let addr = i * c + pass * 7 * cache_line;
-                        misses += cache.access_range(addr, c);
-                    }
-                }
-                misses
-            })
-    })
+    let n = cache_kib * 1024 / cache_line;
+    // Lines one pass touches: the stream's last access spans up to
+    // `(inputs−1)·c + max(c,1) − 1` (`access_range` touches at least one
+    // line even for zero-length objects).
+    let w = ((inputs as u64 - 1) * c + c.max(1) - 1) / cache_line + 1;
+    let lo = (w.saturating_sub(n)).max(7);
+    let hi = (w - 1).min(n + 6);
+    let hits = if hi >= lo { hi - lo + 1 } else { 0 };
+    w + (passes - 1) * (w - hits)
 }
 
 /// The PointAcc performance model.
@@ -293,20 +295,35 @@ mod tests {
     }
 
     #[test]
-    fn memoised_cache_walk_matches_a_direct_walk() {
-        for &(kib, line, n, c, passes) in
-            &[(64u64, 64u64, 500u64, 64u64, 3u64), (128, 64, 1000, 128, 1)]
-        {
-            let mut cache = DirectMappedCache::new(kib, line);
-            let mut misses: u64 = 0;
-            for pass in 0..passes {
-                for i in 0..n {
-                    misses += cache.access_range(i * c + pass * 7 * line, c);
+    fn closed_form_matches_direct_walk() {
+        // Sweep every regime of the closed form: working set far below,
+        // around, and far above the cache capacity; single and multi-pass;
+        // object sizes below, equal to, and above the line size (including
+        // the degenerate zero-byte object `access_range` clamps); and the
+        // smallest legal cache. Each case is checked against an actual
+        // access-by-access walk of the direct-mapped cache.
+        use spade_sim::DirectMappedCache;
+        for &kib in &[1u64, 4, 64, 96, 240, 768] {
+            for &line in &[32u64, 64] {
+                for &inputs in &[0usize, 1, 7, 100, 1_000, 50_000] {
+                    for &c in &[0u64, 1, 24, 64, 100, 256] {
+                        for &passes in &[1u64, 3, 7] {
+                            let mut cache = DirectMappedCache::new(kib, line);
+                            let mut misses: u64 = 0;
+                            for pass in 0..passes {
+                                for i in 0..inputs as u64 {
+                                    misses += cache.access_range(i * c + pass * 7 * line, c);
+                                }
+                            }
+                            assert_eq!(
+                                cache_walk_misses(kib, line, inputs, c, passes),
+                                misses,
+                                "kib={kib} line={line} inputs={inputs} c={c} passes={passes}"
+                            );
+                        }
+                    }
                 }
             }
-            assert_eq!(cache_walk_misses(kib, line, n as usize, c, passes), misses);
-            // The second call is served from the memo and must agree.
-            assert_eq!(cache_walk_misses(kib, line, n as usize, c, passes), misses);
         }
     }
 

@@ -15,6 +15,7 @@
 //! spade-experiments dse --scenario urban --delta    # temporal delta execution
 //! spade-experiments dse --csv pareto.csv            # export the grid as CSV
 //! spade-experiments dse --json pareto.json          # ... or as JSON
+//! spade-experiments dse --enlarged --adaptive       # 91x grid, screened sweep
 //! ```
 //!
 //! `--jobs` defaults to the machine's available parallelism; the sweep
@@ -24,9 +25,15 @@
 //! each drive through the temporal delta path (patching the previous frame's
 //! rule structures instead of regenerating them; byte-identical results,
 //! adds the `frames_delta_executed` / `delta_speedup` export columns);
-//! `--no-delta` restores the full-sweep default.
+//! `--no-delta` restores the full-sweep default. `--enlarged` crosses the
+//! grid with the buffer-split × banking axes (~91× more configurations);
+//! `--adaptive` explores the grid via roofline screening + successive
+//! halving (identical Pareto frontier, a fraction of the simulations; adds
+//! the `simulated` / `cells_screened` / `cells_simulated` / `frames_saved`
+//! export columns) and `--exhaustive` restores the simulate-everything
+//! default.
 
-use spade_bench::dse::{run_dse_with_jobs, DseParams};
+use spade_bench::dse::{run_dse_with_jobs, DseParams, SweepAxes};
 use spade_bench::{default_jobs, run_experiment, WorkloadScale};
 use spade_pointcloud::NamedScenario;
 
@@ -38,6 +45,8 @@ struct Cli {
     drive_seed: Option<u64>,
     scenario: Option<NamedScenario>,
     delta: Option<bool>,
+    adaptive: Option<bool>,
+    enlarged: bool,
     csv_path: Option<String>,
     json_path: Option<String>,
 }
@@ -68,6 +77,8 @@ fn parse_cli() -> Cli {
         drive_seed: None,
         scenario: None,
         delta: None,
+        adaptive: None,
+        enlarged: false,
         csv_path: None,
         json_path: None,
     };
@@ -98,6 +109,9 @@ fn parse_cli() -> Cli {
             }
             "--delta" => cli.delta = Some(true),
             "--no-delta" => cli.delta = Some(false),
+            "--adaptive" => cli.adaptive = Some(true),
+            "--exhaustive" => cli.adaptive = Some(false),
+            "--enlarged" => cli.enlarged = true,
             "--csv" => cli.csv_path = Some(value_of(&mut it, "--csv")),
             "--json" => cli.json_path = Some(value_of(&mut it, "--json")),
             flag if flag.starts_with("--") => {
@@ -111,6 +125,9 @@ fn parse_cli() -> Cli {
 
 fn run_dse_with(cli: &Cli) {
     let mut params = DseParams::default_for(cli.scale);
+    if cli.enlarged {
+        params.axes = SweepAxes::enlarged();
+    }
     if let Some(frames) = cli.frames {
         params.num_frames = frames;
     }
@@ -120,6 +137,9 @@ fn run_dse_with(cli: &Cli) {
     params.scenario = cli.scenario;
     if let Some(delta) = cli.delta {
         params.delta = delta;
+    }
+    if let Some(adaptive) = cli.adaptive {
+        params.adaptive = adaptive;
     }
     // The pool clamps 0 to 1 internally; clamp here too so the banner below
     // reports the worker count that actually runs.
@@ -134,8 +154,13 @@ fn run_dse_with(cli: &Cli) {
     } else {
         ""
     };
+    let explore = if params.adaptive {
+        ", adaptive exploration"
+    } else {
+        ""
+    };
     println!(
-        "\n=== dse ({jobs} worker threads, {drive}{exec}) ===\n{}",
+        "\n=== dse ({jobs} worker threads, {drive}{exec}{explore}) ===\n{}",
         result.summary()
     );
     if let Some(path) = &cli.csv_path {

@@ -29,6 +29,16 @@
 //! surfaced as the `dse` experiment of the `spade-experiments` binary
 //! (which can also export the full grid as CSV/JSON via [`ReportTable`] and
 //! takes `--jobs N` / `--scenario <name>` flags).
+//!
+//! Grids an order of magnitude larger than the defaults (the
+//! [`SweepAxes::enlarged`] buffer-split × banking cross) are explored
+//! through the [`adaptive`] submodule — roofline lower-bound screening plus
+//! successive halving over growing frame prefixes — which produces the
+//! exact same Pareto frontier as an exhaustive sweep while simulating a
+//! fraction of the cells (`DseParams::adaptive`).
+
+#[path = "adaptive.rs"]
+pub mod adaptive;
 
 use crate::pool::WorkerPool;
 use crate::workload::{
@@ -71,6 +81,15 @@ pub struct SweepAxes {
     pub freq_ghz: Vec<f64>,
     /// DRAM bandwidths in bytes per cycle.
     pub dram_bytes_per_cycle: Vec<f64>,
+    /// Input/output buffer-pool splits (fraction of the pool given to the
+    /// input buffer; `0.0` keeps the base design's split — see
+    /// [`SpadeConfig::with_buffer_split`]). Total SRAM and area are
+    /// invariant along this axis.
+    pub buffer_splits: Vec<f64>,
+    /// SRAM bank counts behind the GSU crossbar (see
+    /// [`SpadeConfig::with_sram_banks`]; the default
+    /// [`spade_core::GATHER_SCATTER_LANES`] is conflict-free).
+    pub sram_banks: Vec<u32>,
     /// Dataflow-optimisation settings (SPADE cells only).
     pub dataflow: Vec<DataflowOptions>,
 }
@@ -100,10 +119,30 @@ impl SweepAxes {
             sram_scales: vec![0.5, 1.0],
             freq_ghz: vec![1.0, 1.5],
             dram_bytes_per_cycle: vec![12.8, 25.6],
+            buffer_splits: vec![0.0],
+            sram_banks: vec![spade_core::GATHER_SCATTER_LANES],
             dataflow: vec![
                 DataflowOptions::all_disabled(),
                 DataflowOptions::all_enabled(),
             ],
+        }
+    }
+
+    /// The enlarged grid the adaptive explorer exists for: the paper
+    /// neighbourhood crossed with the buffer-split and banking axes deferred
+    /// from PR 3 — 13 pool splits (the base split plus a dozen
+    /// redistributions) × 7 bank counts, multiplying the 24 base
+    /// configurations ~91× to 2184 SPADE configurations. Exhaustively
+    /// sweeping this grid is what the roofline screen + successive halving
+    /// make affordable (`BENCH_PR9.json` records the measured ratio).
+    #[must_use]
+    pub fn enlarged() -> Self {
+        Self {
+            buffer_splits: vec![
+                0.0, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.9,
+            ],
+            sram_banks: vec![16, 12, 8, 6, 4, 2, 1],
+            ..Self::paper_neighbourhood()
         }
     }
 
@@ -117,6 +156,8 @@ impl SweepAxes {
             sram_scales: vec![0.5, 1.0],
             freq_ghz: vec![1.0, 1.5],
             dram_bytes_per_cycle: vec![12.8, 25.6],
+            buffer_splits: vec![0.0],
+            sram_banks: vec![spade_core::GATHER_SCATTER_LANES],
             dataflow: vec![DataflowOptions::all_enabled()],
         }
     }
@@ -130,6 +171,8 @@ impl SweepAxes {
             dedup_axis(&self.sram_scales).len(),
             dedup_axis(&self.freq_ghz).len(),
             dedup_axis(&self.dram_bytes_per_cycle).len(),
+            dedup_axis(&self.buffer_splits).len(),
+            dedup_axis(&self.sram_banks).len(),
             dedup_axis(&self.dataflow).len(),
         ]
         .iter()
@@ -149,12 +192,18 @@ impl SweepAxes {
             for &scale in &dedup_axis(&self.sram_scales) {
                 for &freq in &dedup_axis(&self.freq_ghz) {
                     for &bpc in &dedup_axis(&self.dram_bytes_per_cycle) {
-                        out.push(
-                            base.with_pe_array(rows, cols)
-                                .with_sram_scale(scale)
-                                .with_freq_ghz(freq)
-                                .with_dram_bytes_per_cycle(bpc),
-                        );
+                        for &split in &dedup_axis(&self.buffer_splits) {
+                            for &banks in &dedup_axis(&self.sram_banks) {
+                                out.push(
+                                    base.with_pe_array(rows, cols)
+                                        .with_sram_scale(scale)
+                                        .with_freq_ghz(freq)
+                                        .with_dram_bytes_per_cycle(bpc)
+                                        .with_buffer_split(split)
+                                        .with_sram_banks(banks),
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -193,6 +242,16 @@ pub struct DseParams {
     /// `frames_delta_executed` / `delta_speedup` columns to the exported
     /// grid.
     pub delta: bool,
+    /// Explore the grid adaptively ([`adaptive`]): a roofline lower bound
+    /// per SPADE cell screens provably dominated cells before simulation,
+    /// and successive halving refines the survivors on growing frame
+    /// prefixes. The Pareto frontier is byte-identical to an exhaustive run
+    /// (screening only ever discards cells a simulated cell strictly
+    /// dominates); screened cells are exported with their bound values and
+    /// `simulated=0`, and the `cells_screened` / `cells_simulated` /
+    /// `frames_saved` counters are appended to the export. `false` (the
+    /// default everywhere) simulates every cell.
+    pub adaptive: bool,
 }
 
 impl DseParams {
@@ -214,6 +273,7 @@ impl DseParams {
                 },
                 scenario: None,
                 delta: false,
+                adaptive: false,
             },
             WorkloadScale::Reduced => Self {
                 scale,
@@ -227,6 +287,7 @@ impl DseParams {
                 },
                 scenario: None,
                 delta: false,
+                adaptive: false,
             },
         }
     }
@@ -302,6 +363,12 @@ pub struct DseCell {
     /// run ([`DeltaStats::modelled_speedup`]): full-equivalent output rows
     /// divided by rows actually swept. `1.0` when delta execution is off.
     pub delta_speedup: f64,
+    /// Whether this cell was fully simulated. `false` only for cells the
+    /// adaptive explorer screened out, whose latency/energy columns then
+    /// hold the roofline *lower bound* (provably ≤ the simulated value) at
+    /// which a fully simulated cell dominated them; screened cells never
+    /// join the frontier (their true values are provably dominated too).
+    pub simulated: bool,
     /// Whether this cell survives Pareto extraction for its workload.
     pub on_frontier: bool,
 }
@@ -328,6 +395,18 @@ pub struct DseResult {
     /// Delta-execution statistics merged across every model's drive (all
     /// zeros when `delta` is off).
     pub delta_stats: DeltaStats,
+    /// Whether the grid was explored adaptively ([`adaptive`]).
+    pub adaptive: bool,
+    /// Cells the adaptive explorer screened out without full simulation
+    /// (their exported metrics are roofline lower bounds). `0` when
+    /// exhaustive.
+    pub cells_screened: usize,
+    /// Cells fully simulated. Equals `cells.len()` when exhaustive;
+    /// `cells_screened + cells_simulated == cells.len()` always.
+    pub cells_simulated: usize,
+    /// Drive frames the adaptive explorer never had to simulate, summed
+    /// over the screened cells. `0` when exhaustive.
+    pub frames_saved: usize,
 }
 
 /// Marks the Pareto-optimal points among `points` (minimising every
@@ -341,16 +420,42 @@ pub struct DseResult {
 /// cell would be "undominated" and stick to the frontier forever (and a
 /// `-inf` garbage cell would knock every real point off it). Such points
 /// neither join the frontier nor dominate anything.
+///
+/// Runs in `O(n log n + n·F)` (`F` = frontier size) instead of the naïve
+/// all-pairs scan: a dominator is ≤ its victim in every dimension and
+/// strictly < in one, so it sorts lexicographically *strictly before* the
+/// victim — scanning in sorted order, a point's dominators are all behind
+/// it, and by transitivity it suffices to test against the frontier built
+/// so far (a discarded dominator is itself dominated by a frontier point,
+/// which then dominates the victim too). The output is the definitional
+/// dominated-by-nobody set, independent of scan order.
 #[must_use]
 pub fn pareto_frontier(points: &[[f64; 3]]) -> Vec<bool> {
     let finite = |p: &[f64; 3]| p.iter().all(|v| v.is_finite());
     let dominates = |a: &[f64; 3], b: &[f64; 3]| {
-        finite(a) && a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
     };
-    points
-        .iter()
-        .map(|p| finite(p) && !points.iter().any(|q| dominates(q, p)))
-        .collect()
+    let mut order: Vec<usize> = (0..points.len()).filter(|&i| finite(&points[i])).collect();
+    // Finite values make `total_cmp` coincide with the partial order; the
+    // index tiebreak pins the scan order of exact ties (the result does not
+    // depend on it — ties never dominate each other).
+    order.sort_unstable_by(|&a, &b| {
+        points[a]
+            .iter()
+            .zip(&points[b])
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(a.cmp(&b))
+    });
+    let mut keep = vec![false; points.len()];
+    let mut frontier: Vec<usize> = Vec::new();
+    for &i in &order {
+        if !frontier.iter().any(|&f| dominates(&points[f], &points[i])) {
+            frontier.push(i);
+            keep[i] = true;
+        }
+    }
+    keep
 }
 
 fn preset_for(kind: ModelKind) -> DatasetPreset {
@@ -393,6 +498,7 @@ fn mean_cell(
         mean_pillar_overlap,
         frames_delta_executed: 0,
         delta_speedup: 1.0,
+        simulated: true,
         on_frontier: false,
     }
 }
@@ -401,8 +507,11 @@ fn mean_cell(
 enum CellKind {
     /// SPADE with one dataflow setting.
     Spade(DataflowOptions),
-    /// The dense-only ablation at the same form factor.
-    Dense,
+    /// The dense-only ablation at the same form factor (one cell per
+    /// PE-array × SRAM × frequency × bandwidth form factor — its behaviour
+    /// model is insensitive to the buffer-split and banking axes, which
+    /// only reshape SPADE's gather/scatter machinery).
+    Dense { label: String },
     /// SpConv2D-Acc (one cell per PE-array × SRAM form factor — its
     /// behaviour model is insensitive to both DRAM bandwidth and clock).
     SpConv2d { label: String },
@@ -416,6 +525,31 @@ struct CellItem {
     model_idx: usize,
     config_idx: usize,
     kind: CellKind,
+}
+
+/// Builds the [`DseCell`] of a SPADE design point from its per-frame
+/// simulation results (in frame order). Shared by the exhaustive path
+/// ([`compute_cell`]) and the adaptive explorer's halving rungs, so a cell
+/// that survives screening is byte-identical however it was reached.
+fn spade_cell(
+    kind: ModelKind,
+    config: &SpadeConfig,
+    opts: DataflowOptions,
+    perfs: &[NetworkPerf],
+    overlap: f64,
+) -> DseCell {
+    let enabled = opts.weight_grouping || opts.ganged_scatter || opts.adaptive_tiling;
+    let design = format!("{}/{}", config.label(), if enabled { "+df" } else { "-df" });
+    mean_cell(
+        kind.name(),
+        "SPADE",
+        design,
+        config,
+        enabled,
+        AcceleratorReport::for_spade("SPADE", config).total_mm2(),
+        perfs,
+        overlap,
+    )
 }
 
 /// Simulates one work-list item into its [`DseCell`]. Pure w.r.t. the
@@ -439,27 +573,16 @@ fn compute_cell(
     let spade_area = || AcceleratorReport::for_spade("SPADE", config).total_mm2();
     let mut cell = match &item.kind {
         CellKind::Spade(opts) => {
-            let enabled = opts.weight_grouping || opts.ganged_scatter || opts.adaptive_tiling;
             let acc = SpadeAccelerator::with_options(*config, *opts);
-            let design = format!("{}/{}", config.label(), if enabled { "+df" } else { "-df" });
-            mean_cell(
-                kind.name(),
-                acc.name(),
-                design,
-                config,
-                enabled,
-                spade_area(),
-                &sim_all(&acc),
-                overlap,
-            )
+            spade_cell(kind, config, *opts, &sim_all(&acc), overlap)
         }
-        CellKind::Dense => {
+        CellKind::Dense { label } => {
             let dense = DenseAccelerator::new(*config);
             let area = AcceleratorReport::for_dense("DenseAcc", config).total_mm2();
             mean_cell(
                 kind.name(),
                 dense.name(),
-                config.label(),
+                label.clone(),
                 config,
                 true,
                 area,
@@ -529,230 +652,332 @@ pub fn run_dse_with_jobs(params: &DseParams, jobs: usize) -> DseResult {
 /// the calling thread).
 #[must_use]
 pub fn run_dse_on_pool(params: &DseParams, pool: &WorkerPool) -> DseResult {
-    let configs = params.axes.expand_configs();
-    let dataflow = dedup_axis(&params.axes.dataflow);
-    let drive_cfg = params.drive_config();
-    let num_frames = drive_cfg.num_frames;
+    let plan = SweepPlan::build(params, pool);
+    let (cells, screen) = if params.adaptive {
+        adaptive::explore(params, pool, &plan)
+    } else {
+        let cells = pool.run(plan.items.len(), |i| {
+            compute_cell(
+                &plan.items[i],
+                &params.models,
+                &plan.configs,
+                &plan.runs_by_model,
+                &plan.overlap_by_model,
+                &plan.delta_by_model,
+            )
+        });
+        let simulated = cells.len();
+        (
+            cells,
+            adaptive::ScreenCounters {
+                cells_screened: 0,
+                cells_simulated: simulated,
+                frames_saved: 0,
+            },
+        )
+    };
+    finish_result(params, plan, cells, screen)
+}
 
-    // Stage 1 — per-frame workload construction, parallel over frames.
-    // Drive frames depend only on the dataset preset, so models sharing a
-    // dataset share one generated frame vector (built once per sweep); the
-    // per-model `ModelRun`s are configuration-independent, so every design
-    // point downstream reuses them. Each worker thread reuses one
-    // `ExecutionArena` across its frames (thread-local in
-    // `workload::model_run_on_frame`), so pattern execution allocates no
-    // per-layer scratch anywhere in the sweep.
-    let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>, f64)> = Vec::new();
-    let mut delta_stats_by_model: Vec<DeltaStats> = Vec::new();
-    let runs_by_model: Vec<Vec<ModelRun>> = params
-        .models
-        .iter()
-        .map(|&kind| {
-            let preset = preset_for(kind);
-            let dataset = kind.dataset();
-            if !frames_by_dataset.iter().any(|(d, ..)| *d == dataset) {
-                let scenario = DriveScenario::new(preset.clone(), drive_cfg.clone());
-                // A persistent world evolves frame by frame, so its drive is
-                // generated sequentially (one pass, identical for any worker
-                // count); independent frames fan out across the pool and get
-                // their overlap metric annotated afterwards.
-                let frames = if drive_cfg.persistence.is_persistent() {
-                    scenario.frames()
-                } else {
-                    let mut frames = pool.run(num_frames, |i| scenario.generate_frame(i));
-                    DriveScenario::annotate_overlap(&mut frames);
-                    frames
-                };
-                let mean_overlap = DriveScenario::mean_overlap_of(&frames);
-                frames_by_dataset.push((dataset, frames, mean_overlap));
-            }
-            let frames = &frames_by_dataset
-                .iter()
-                .find(|(d, ..)| *d == dataset)
-                .expect("frames generated above")
-                .1;
-            // A model run's RNG (pruning noise) is seeded distinctly from the
-            // frame-generation stream — it must not replay the scene
-            // randomness of the frame it runs on — and held drive-stable on
-            // persistent worlds (`pruning_seed`) so the pruned layers inherit
-            // the scene's temporal coherence.
-            if params.delta {
-                // The delta path is stateful across a drive's frames, so one
-                // model's frames run sequentially in order; models (and the
-                // design-point fan-out of stage 3) still parallelise, and the
-                // per-frame results are byte-identical to the pooled full
-                // sweeps either way.
-                let mut state = FrameDeltaState::new(DeltaPolicy::default());
-                let runs = frames
+/// Everything the sweep shares between the exhaustive and adaptive paths:
+/// the expanded configurations, the per-model drive workloads (stage 1),
+/// and the canonical indexed work-list with its duel pairs and per-workload
+/// ranges (stage 2). Building the plan is identical for both paths, so an
+/// adaptive run starts from byte-identical inputs.
+struct SweepPlan {
+    configs: Vec<SpadeConfig>,
+    num_frames: usize,
+    runs_by_model: Vec<Vec<ModelRun>>,
+    overlap_by_model: Vec<f64>,
+    delta_by_model: Vec<(usize, f64)>,
+    delta_stats: DeltaStats,
+    items: Vec<CellItem>,
+    duels: Vec<(Vec<usize>, usize)>,
+    workload_ranges: Vec<std::ops::Range<usize>>,
+}
+
+impl SweepPlan {
+    fn build(params: &DseParams, pool: &WorkerPool) -> Self {
+        let configs = params.axes.expand_configs();
+        let dataflow = dedup_axis(&params.axes.dataflow);
+        let drive_cfg = params.drive_config();
+        let num_frames = drive_cfg.num_frames;
+
+        // Stage 1 — per-frame workload construction, parallel over frames.
+        // Drive frames depend only on the dataset preset, so models sharing a
+        // dataset share one generated frame vector (built once per sweep); the
+        // per-model `ModelRun`s are configuration-independent, so every design
+        // point downstream reuses them. Each worker thread reuses one
+        // `ExecutionArena` across its frames (thread-local in
+        // `workload::model_run_on_frame`), so pattern execution allocates no
+        // per-layer scratch anywhere in the sweep.
+        let mut frames_by_dataset: Vec<(DatasetKind, Vec<DriveFrame>, f64)> = Vec::new();
+        let mut delta_stats_by_model: Vec<DeltaStats> = Vec::new();
+        let runs_by_model: Vec<Vec<ModelRun>> = params
+            .models
+            .iter()
+            .map(|&kind| {
+                let preset = preset_for(kind);
+                let dataset = kind.dataset();
+                if !frames_by_dataset.iter().any(|(d, ..)| *d == dataset) {
+                    let scenario = DriveScenario::new(preset.clone(), drive_cfg.clone());
+                    // A persistent world evolves frame by frame, so its drive is
+                    // generated sequentially (one pass, identical for any worker
+                    // count); independent frames fan out across the pool and get
+                    // their overlap metric annotated afterwards.
+                    let frames = if drive_cfg.persistence.is_persistent() {
+                        scenario.frames()
+                    } else {
+                        let mut frames = pool.run(num_frames, |i| scenario.generate_frame(i));
+                        DriveScenario::annotate_overlap(&mut frames);
+                        frames
+                    };
+                    let mean_overlap = DriveScenario::mean_overlap_of(&frames);
+                    frames_by_dataset.push((dataset, frames, mean_overlap));
+                }
+                let frames = &frames_by_dataset
                     .iter()
-                    .map(|f| {
-                        model_run_on_frame_delta(
+                    .find(|(d, ..)| *d == dataset)
+                    .expect("frames generated above")
+                    .1;
+                // A model run's RNG (pruning noise) is seeded distinctly from the
+                // frame-generation stream — it must not replay the scene
+                // randomness of the frame it runs on — and held drive-stable on
+                // persistent worlds (`pruning_seed`) so the pruned layers inherit
+                // the scene's temporal coherence.
+                if params.delta {
+                    // The delta path is stateful across a drive's frames, so one
+                    // model's frames run sequentially in order; models (and the
+                    // design-point fan-out of stage 3) still parallelise, and the
+                    // per-frame results are byte-identical to the pooled full
+                    // sweeps either way.
+                    let mut state = FrameDeltaState::new(DeltaPolicy::default());
+                    let runs = frames
+                        .iter()
+                        .map(|f| {
+                            model_run_on_frame_delta(
+                                kind,
+                                &preset,
+                                &f.frame,
+                                drive_cfg.pruning_seed(f.index),
+                                params.scale,
+                                PruningConfig::default(),
+                                &mut state,
+                            )
+                        })
+                        .collect();
+                    delta_stats_by_model.push(state.stats());
+                    runs
+                } else {
+                    delta_stats_by_model.push(DeltaStats::default());
+                    pool.run(num_frames, |i| {
+                        model_run_on_frame(
                             kind,
                             &preset,
-                            &f.frame,
-                            drive_cfg.pruning_seed(f.index),
+                            &frames[i].frame,
+                            drive_cfg.pruning_seed(frames[i].index),
                             params.scale,
                             PruningConfig::default(),
-                            &mut state,
                         )
                     })
-                    .collect();
-                delta_stats_by_model.push(state.stats());
-                runs
-            } else {
-                delta_stats_by_model.push(DeltaStats::default());
-                pool.run(num_frames, |i| {
-                    model_run_on_frame(
-                        kind,
-                        &preset,
-                        &frames[i].frame,
-                        drive_cfg.pruning_seed(frames[i].index),
-                        params.scale,
-                        PruningConfig::default(),
-                    )
-                })
-            }
-        })
-        .collect();
-    let overlap_by_model: Vec<f64> = params
-        .models
-        .iter()
-        .map(|&kind| {
-            frames_by_dataset
-                .iter()
-                .find(|(d, ..)| *d == kind.dataset())
-                .expect("frames generated above")
-                .2
-        })
-        .collect();
-    let delta_by_model: Vec<(usize, f64)> = delta_stats_by_model
-        .iter()
-        .map(|s| (s.frames_delta, s.modelled_speedup()))
-        .collect();
-    let mut delta_stats = DeltaStats::default();
-    for s in &delta_stats_by_model {
-        delta_stats.merge(s);
-    }
+                }
+            })
+            .collect();
+        let overlap_by_model: Vec<f64> = params
+            .models
+            .iter()
+            .map(|&kind| {
+                frames_by_dataset
+                    .iter()
+                    .find(|(d, ..)| *d == kind.dataset())
+                    .expect("frames generated above")
+                    .2
+            })
+            .collect();
+        let delta_by_model: Vec<(usize, f64)> = delta_stats_by_model
+            .iter()
+            .map(|s| (s.frames_delta, s.modelled_speedup()))
+            .collect();
+        let mut delta_stats = DeltaStats::default();
+        for s in &delta_stats_by_model {
+            delta_stats.merge(s);
+        }
 
-    // Stage 2 — build the indexed work-list. Cell order is canonical
-    // (model, then configuration, then SPADE/Dense/SpConv2D/PointAcc), so
-    // reassembly by index reproduces the serial layout exactly. The
-    // bandwidth- and frequency-insensitive baselines collapse the axes they
-    // cannot observe: one SpConv2D-Acc cell per (PE array, SRAM) form
-    // factor, one PointAcc cell per (PE array, SRAM, frequency) — sweeping
-    // those axes for them would only emit duplicate cells differing in
-    // label, polluting the frontier with fake ties.
-    let mut items: Vec<CellItem> = Vec::new();
-    // Per (model, config): indices of the SPADE cells and the DenseAcc cell,
-    // for the Fig. 9 dominance tally after the fan-out.
-    let mut duels: Vec<(Vec<usize>, usize)> = Vec::new();
-    // Per model: the range of `items` holding its cells (Pareto extraction
-    // is per workload).
-    let mut workload_ranges: Vec<std::ops::Range<usize>> = Vec::new();
-    for model_idx in 0..params.models.len() {
-        let first_item = items.len();
-        let mut spconv_seen: std::collections::HashSet<(usize, usize, u64)> = Default::default();
-        let mut pointacc_seen: std::collections::HashSet<(usize, usize, u64, u64)> =
-            Default::default();
-        for (config_idx, config) in configs.iter().enumerate() {
-            let spade_idxs: Vec<usize> = dataflow
-                .iter()
-                .map(|&opts| {
+        // Stage 2 — build the indexed work-list. Cell order is canonical
+        // (model, then configuration, then SPADE/Dense/SpConv2D/PointAcc), so
+        // reassembly by index reproduces the serial layout exactly. The
+        // bandwidth- and frequency-insensitive baselines collapse the axes they
+        // cannot observe: one SpConv2D-Acc cell per (PE array, SRAM) form
+        // factor, one PointAcc cell per (PE array, SRAM, frequency) — sweeping
+        // those axes for them would only emit duplicate cells differing in
+        // label, polluting the frontier with fake ties.
+        let mut items: Vec<CellItem> = Vec::new();
+        // Per (model, config): indices of the SPADE cells and the DenseAcc cell,
+        // for the Fig. 9 dominance tally after the fan-out.
+        let mut duels: Vec<(Vec<usize>, usize)> = Vec::new();
+        // Per model: the range of `items` holding its cells (Pareto extraction
+        // is per workload).
+        let mut workload_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        for model_idx in 0..params.models.len() {
+            let first_item = items.len();
+            let mut dense_seen: std::collections::HashMap<(usize, usize, u64, u64, u64), usize> =
+                Default::default();
+            let mut spconv_seen: std::collections::HashSet<(usize, usize, u64)> =
+                Default::default();
+            let mut pointacc_seen: std::collections::HashSet<(usize, usize, u64, u64)> =
+                Default::default();
+            for (config_idx, config) in configs.iter().enumerate() {
+                let spade_idxs: Vec<usize> = dataflow
+                    .iter()
+                    .map(|&opts| {
+                        items.push(CellItem {
+                            model_idx,
+                            config_idx,
+                            kind: CellKind::Spade(opts),
+                        });
+                        items.len() - 1
+                    })
+                    .collect();
+                // DenseAcc has no gather/scatter machinery, so the buffer-split
+                // and banking axes cannot change its results: collapse it to one
+                // cell per (PE array, SRAM, frequency, bandwidth) form factor
+                // with the axis-free legacy label. On grids without the new
+                // axes every configuration is its own form factor and the cell
+                // set (and item order) is exactly the legacy one.
+                let dense_key = (
+                    config.pe_rows,
+                    config.pe_cols,
+                    config.total_sram_kib(),
+                    config.freq_ghz.to_bits(),
+                    config.dram_bytes_per_cycle.to_bits(),
+                );
+                let dense_idx = match dense_seen.get(&dense_key) {
+                    Some(&idx) => idx,
+                    None => {
+                        items.push(CellItem {
+                            model_idx,
+                            config_idx,
+                            kind: CellKind::Dense {
+                                label: format!(
+                                    "{}x{}/{}KiB/{}GHz/{}Bpc",
+                                    config.pe_rows,
+                                    config.pe_cols,
+                                    config.total_sram_kib(),
+                                    config.freq_ghz,
+                                    config.dram_bytes_per_cycle
+                                ),
+                            },
+                        });
+                        dense_seen.insert(dense_key, items.len() - 1);
+                        items.len() - 1
+                    }
+                };
+                // SPADE vs DenseAcc at the same form factor (areas within the
+                // ~4.5% sparsity-support overhead of each other): Fig. 9's
+                // claim, checked in every configuration cell of the sweep. A
+                // cell wins if any of its dataflow variants dominates DenseAcc.
+                if !spade_idxs.is_empty() {
+                    duels.push((spade_idxs, dense_idx));
+                }
+                let form_factor = (config.pe_rows, config.pe_cols, config.total_sram_kib());
+                if spconv_seen.insert(form_factor) {
+                    // Label without the bandwidth and frequency tokens: the
+                    // SpConv2D-Acc behaviour model's results hold for every
+                    // swept value of both.
                     items.push(CellItem {
                         model_idx,
                         config_idx,
-                        kind: CellKind::Spade(opts),
+                        kind: CellKind::SpConv2d {
+                            label: format!(
+                                "{}x{}/{}KiB",
+                                config.pe_rows,
+                                config.pe_cols,
+                                config.total_sram_kib()
+                            ),
+                        },
                     });
-                    items.len() - 1
-                })
-                .collect();
-            items.push(CellItem {
-                model_idx,
-                config_idx,
-                kind: CellKind::Dense,
-            });
-            // SPADE vs DenseAcc at the same form factor (areas within the
-            // ~4.5% sparsity-support overhead of each other): Fig. 9's
-            // claim, checked in every configuration cell of the sweep. A
-            // cell wins if any of its dataflow variants dominates DenseAcc.
-            if !spade_idxs.is_empty() {
-                duels.push((spade_idxs, items.len() - 1));
+                }
+                let freq_form_factor = (
+                    config.pe_rows,
+                    config.pe_cols,
+                    config.total_sram_kib(),
+                    config.freq_ghz.to_bits(),
+                );
+                if pointacc_seen.insert(freq_form_factor) {
+                    // PointAcc's no-overlap cycle model never bounds on DRAM
+                    // bandwidth, but its latency does scale with the clock —
+                    // keep the frequency token, drop the bandwidth one.
+                    items.push(CellItem {
+                        model_idx,
+                        config_idx,
+                        kind: CellKind::PointAcc {
+                            label: format!(
+                                "{}x{}/{}KiB/{}GHz",
+                                config.pe_rows,
+                                config.pe_cols,
+                                config.total_sram_kib(),
+                                config.freq_ghz
+                            ),
+                        },
+                    });
+                }
             }
-            let form_factor = (config.pe_rows, config.pe_cols, config.total_sram_kib());
-            if spconv_seen.insert(form_factor) {
-                // Label without the bandwidth and frequency tokens: the
-                // SpConv2D-Acc behaviour model's results hold for every
-                // swept value of both.
-                items.push(CellItem {
-                    model_idx,
-                    config_idx,
-                    kind: CellKind::SpConv2d {
-                        label: format!(
-                            "{}x{}/{}KiB",
-                            config.pe_rows,
-                            config.pe_cols,
-                            config.total_sram_kib()
-                        ),
-                    },
-                });
-            }
-            let freq_form_factor = (
-                config.pe_rows,
-                config.pe_cols,
-                config.total_sram_kib(),
-                config.freq_ghz.to_bits(),
-            );
-            if pointacc_seen.insert(freq_form_factor) {
-                // PointAcc's no-overlap cycle model never bounds on DRAM
-                // bandwidth, but its latency does scale with the clock —
-                // keep the frequency token, drop the bandwidth one.
-                items.push(CellItem {
-                    model_idx,
-                    config_idx,
-                    kind: CellKind::PointAcc {
-                        label: format!(
-                            "{}x{}/{}KiB/{}GHz",
-                            config.pe_rows,
-                            config.pe_cols,
-                            config.total_sram_kib(),
-                            config.freq_ghz
-                        ),
-                    },
-                });
-            }
+            workload_ranges.push(first_item..items.len());
         }
-        workload_ranges.push(first_item..items.len());
+
+        SweepPlan {
+            configs,
+            num_frames,
+            runs_by_model,
+            overlap_by_model,
+            delta_by_model,
+            delta_stats,
+            items,
+            duels,
+            workload_ranges,
+        }
     }
+}
 
-    // Stage 3 — fan the work-list out across the pool and reassemble in
-    // index order.
-    let mut cells: Vec<DseCell> = pool.run(items.len(), |i| {
-        compute_cell(
-            &items[i],
-            &params.models,
-            &configs,
-            &runs_by_model,
-            &overlap_by_model,
-            &delta_by_model,
-        )
-    });
-
-    // Stage 4 — serial post-processing on the assembled grid: the Fig. 9
-    // dominance tally and per-workload Pareto extraction.
+/// Serial post-processing on the assembled grid — the Fig. 9 dominance
+/// tally and per-workload Pareto extraction — shared by the exhaustive and
+/// adaptive paths. Screened (unsimulated) cells hold lower bounds rather
+/// than true values, so they are excluded from both the tally and the
+/// frontier point set: a bound may undercut a simulated value, but it
+/// proves nothing about domination in either direction. Excluding them is
+/// exact, not approximate — a cell is only ever screened when a fully
+/// simulated cell dominates its bound, which (bound ≤ truth, domination is
+/// transitive) dominates its true value and anything that true value would
+/// have dominated.
+fn finish_result(
+    params: &DseParams,
+    plan: SweepPlan,
+    mut cells: Vec<DseCell>,
+    screen: adaptive::ScreenCounters,
+) -> DseResult {
     let mut wins = 0usize;
-    for (spade_idxs, dense_idx) in &duels {
+    for (spade_idxs, dense_idx) in &plan.duels {
         let dense = &cells[*dense_idx];
         if spade_idxs.iter().any(|&i| {
-            cells[i].mean_latency_ms < dense.mean_latency_ms
+            cells[i].simulated
+                && cells[i].mean_latency_ms < dense.mean_latency_ms
                 && cells[i].mean_energy_mj < dense.mean_energy_mj
         }) {
             wins += 1;
         }
     }
-    for range in workload_ranges {
+    for range in plan.workload_ranges {
+        // Unsimulated cells map to NaN metrics, which `pareto_frontier`
+        // neither admits to the frontier nor lets dominate anything.
         let metrics: Vec<[f64; 3]> = cells[range.clone()]
             .iter()
-            .map(|c| [c.mean_latency_ms, c.mean_energy_mj, c.area_mm2])
+            .map(|c| {
+                if c.simulated {
+                    [c.mean_latency_ms, c.mean_energy_mj, c.area_mm2]
+                } else {
+                    [f64::NAN; 3]
+                }
+            })
             .collect();
         for (cell, keep) in cells[range].iter_mut().zip(pareto_frontier(&metrics)) {
             cell.on_frontier = keep;
@@ -761,13 +986,17 @@ pub fn run_dse_on_pool(params: &DseParams, pool: &WorkerPool) -> DseResult {
 
     DseResult {
         cells,
-        num_configs: configs.len(),
-        num_frames,
+        num_configs: plan.configs.len(),
+        num_frames: plan.num_frames,
         num_swept_axes: params.axes.num_swept_axes(),
         spade_dense_wins: wins,
-        spade_dense_comparisons: duels.len(),
+        spade_dense_comparisons: plan.duels.len(),
         delta: params.delta,
-        delta_stats,
+        delta_stats: plan.delta_stats,
+        adaptive: params.adaptive,
+        cells_screened: screen.cells_screened,
+        cells_simulated: screen.cells_simulated,
+        frames_saved: screen.frames_saved,
     }
 }
 
@@ -779,9 +1008,10 @@ impl DseResult {
     }
 
     /// The full grid as a [`ReportTable`] (one row per cell). Delta-enabled
-    /// runs append the `frames_delta_executed` / `delta_speedup` columns;
-    /// full-sweep runs keep the legacy column set, so pre-delta exports stay
-    /// byte-identical.
+    /// runs append the `frames_delta_executed` / `delta_speedup` columns and
+    /// adaptive runs the `simulated` flag plus the `cells_screened` /
+    /// `cells_simulated` / `frames_saved` counters; default runs keep the
+    /// legacy column set, so pre-existing exports stay byte-identical.
     #[must_use]
     pub fn to_table(&self) -> ReportTable {
         let mut headers = vec![
@@ -805,6 +1035,12 @@ impl DseResult {
             headers.push("frames_delta_executed");
             headers.push("delta_speedup");
         }
+        if self.adaptive {
+            headers.push("simulated");
+            headers.push("cells_screened");
+            headers.push("cells_simulated");
+            headers.push("frames_saved");
+        }
         let mut t = ReportTable::new(headers);
         for c in &self.cells {
             let mut row: Vec<spade_core::ReportValue> = vec![
@@ -827,6 +1063,15 @@ impl DseResult {
             if self.delta {
                 row.push(c.frames_delta_executed.into());
                 row.push(c.delta_speedup.into());
+            }
+            if self.adaptive {
+                row.push(c.simulated.into());
+                // Run-level counters, repeated per row like the other
+                // run-level columns (e.g. `mean_pillar_overlap`) so the
+                // export stays one flat table.
+                row.push(self.cells_screened.into());
+                row.push(self.cells_simulated.into());
+                row.push(self.frames_saved.into());
             }
             t.push_row(row);
         }
@@ -867,6 +1112,13 @@ impl DseResult {
             }
         }
         s.push('\n');
+        if self.adaptive {
+            let _ = writeln!(
+                s,
+                "adaptive exploration: {} cells screened by roofline bound, {} simulated, {} drive frames saved",
+                self.cells_screened, self.cells_simulated, self.frames_saved,
+            );
+        }
         if self.delta {
             let _ = writeln!(
                 s,
@@ -992,6 +1244,8 @@ mod tests {
             sram_scales: vec![1.0, 1.0],
             freq_ghz: vec![1.0, 1.0, 1.0],
             dram_bytes_per_cycle: vec![25.6, 25.6],
+            buffer_splits: vec![0.0, 0.0],
+            sram_banks: vec![16, 16],
             dataflow: vec![
                 DataflowOptions::all_enabled(),
                 DataflowOptions::all_enabled(),
@@ -1036,6 +1290,8 @@ mod tests {
             sram_scales: vec![1.0],
             freq_ghz: vec![1.0],
             dram_bytes_per_cycle: vec![12.8, 25.6],
+            buffer_splits: vec![0.0],
+            sram_banks: vec![spade_core::GATHER_SCATTER_LANES],
             dataflow: vec![
                 DataflowOptions::all_disabled(),
                 DataflowOptions::all_enabled(),
@@ -1098,6 +1354,8 @@ mod tests {
             sram_scales: vec![1.0],
             freq_ghz: vec![1.0, 2.0],
             dram_bytes_per_cycle: vec![25.6],
+            buffer_splits: vec![0.0],
+            sram_banks: vec![spade_core::GATHER_SCATTER_LANES],
             dataflow: vec![DataflowOptions::all_enabled()],
         };
         params.num_frames = 2;

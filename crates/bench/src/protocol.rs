@@ -40,7 +40,7 @@
 
 use crate::dse::{DseParams, SweepAxes};
 use crate::workload::WorkloadScale;
-use spade_core::DataflowOptions;
+use spade_core::{DataflowOptions, GATHER_SCATTER_LANES};
 use spade_nn::ModelKind;
 use spade_pointcloud::{DensityProfile, NamedScenario};
 use std::fmt::Write as _;
@@ -362,6 +362,26 @@ pub fn encode_params(params: &DseParams) -> String {
         ";df={}",
         join(axes.dataflow.iter().map(|o| dataflow_mask(o).to_string()))
     );
+    // Fields introduced after the v1 encoding are appended only at
+    // non-default values (the `scenario` precedent): every legacy sweep
+    // encodes — and therefore cache-keys — byte-identically to before.
+    if axes.buffer_splits != [0.0] {
+        let _ = write!(
+            s,
+            ";bs={}",
+            join(axes.buffer_splits.iter().map(f64::to_string))
+        );
+    }
+    if axes.sram_banks != [GATHER_SCATTER_LANES] {
+        let _ = write!(
+            s,
+            ";bank={}",
+            join(axes.sram_banks.iter().map(u32::to_string))
+        );
+    }
+    if params.adaptive {
+        s.push_str(";adaptive=1");
+    }
     s
 }
 
@@ -449,6 +469,26 @@ pub fn decode_params(line: &str) -> Result<DseParams, String> {
             Ok(dataflow_from_mask(mask))
         })
         .collect::<Result<Vec<_>, String>>()?;
+    // Post-v1 fields: absent means the v1 default, so legacy request lines
+    // keep parsing (and meaning) exactly what they always did.
+    let buffer_splits = match fields.iter().find(|(k, _)| k == "bs") {
+        Some(_) => floats("bs")?,
+        None => vec![0.0],
+    };
+    let sram_banks = match fields.iter().find(|(k, _)| k == "bank") {
+        Some((_, raw)) => split_list(raw)
+            .map(|tok| parse_num(tok, "bank"))
+            .collect::<Result<Vec<u32>, String>>()?,
+        None => vec![GATHER_SCATTER_LANES],
+    };
+    let adaptive = match fields.iter().find(|(k, _)| k == "adaptive") {
+        Some((_, raw)) => match raw.as_str() {
+            "0" => false,
+            "1" => true,
+            other => return Err(format!("adaptive expects 0 or 1, got '{other}'")),
+        },
+        None => false,
+    };
     Ok(DseParams {
         scale,
         axes: SweepAxes {
@@ -456,6 +496,8 @@ pub fn decode_params(line: &str) -> Result<DseParams, String> {
             sram_scales: floats("sram")?,
             freq_ghz: floats("ghz")?,
             dram_bytes_per_cycle: floats("bpc")?,
+            buffer_splits,
+            sram_banks,
             dataflow,
         },
         models,
@@ -464,6 +506,7 @@ pub fn decode_params(line: &str) -> Result<DseParams, String> {
         profile,
         scenario,
         delta,
+        adaptive,
     })
 }
 
@@ -560,6 +603,9 @@ pub fn canonicalize_params(params: &DseParams) -> DseParams {
     sort_dedup_floats(&mut axes.sram_scales);
     sort_dedup_floats(&mut axes.freq_ghz);
     sort_dedup_floats(&mut axes.dram_bytes_per_cycle);
+    sort_dedup_floats(&mut axes.buffer_splits);
+    axes.sram_banks.sort_unstable();
+    axes.sram_banks.dedup();
     axes.dataflow.sort_by_key(dataflow_mask);
     axes.dataflow.dedup();
     canon
@@ -599,6 +645,53 @@ mod tests {
         // Legacy profile (no scenario key) round-trips too.
         let legacy = DseParams::default_for(WorkloadScale::Full);
         assert_eq!(decode_params(&encode_params(&legacy)).unwrap(), legacy);
+        // The post-v1 fields round-trip at non-default values.
+        let mut enlarged = sample_params();
+        enlarged.axes.buffer_splits = vec![0.0, 0.25, 0.75];
+        enlarged.axes.sram_banks = vec![16, 4, 1];
+        enlarged.adaptive = true;
+        let encoded = encode_params(&enlarged);
+        assert!(encoded.contains(";bs=0+0.25+0.75"));
+        assert!(encoded.contains(";bank=16+4+1"));
+        assert!(encoded.ends_with(";adaptive=1"));
+        assert_eq!(decode_params(&encoded).unwrap(), enlarged);
+    }
+
+    #[test]
+    fn post_v1_fields_keep_legacy_encodings_byte_stable() {
+        // A default-axes request encodes without the bs/bank/adaptive keys
+        // (so v1 cache keys are untouched)...
+        let legacy = sample_params();
+        let encoded = encode_params(&legacy);
+        for key in [";bs=", ";bank=", ";adaptive="] {
+            assert!(!encoded.contains(key), "'{encoded}' leaks '{key}'");
+        }
+        // ...and a v1 request line (no such keys) still decodes, meaning
+        // exactly the defaults.
+        let decoded = decode_params(&encoded).unwrap();
+        assert_eq!(decoded.axes.buffer_splits, vec![0.0]);
+        assert_eq!(decoded.axes.sram_banks, vec![GATHER_SCATTER_LANES]);
+        assert!(!decoded.adaptive);
+        // An explicit `adaptive=0` is accepted and canonicalises onto the
+        // legacy key, so both spellings share one cache entry.
+        let spelled = decode_params(&format!("{encoded};adaptive=0")).unwrap();
+        assert_eq!(spelled, legacy);
+        assert_eq!(cache_key(&spelled), cache_key(&legacy));
+        // Adaptive exploration changes the exported bytes (extra columns,
+        // bound-valued screened cells), so it must key separately.
+        let mut adaptive = legacy.clone();
+        adaptive.adaptive = true;
+        assert_ne!(cache_key(&adaptive), cache_key(&legacy));
+    }
+
+    #[test]
+    fn canonical_form_sorts_the_new_axes() {
+        let mut params = sample_params();
+        params.axes.buffer_splits = vec![0.75, 0.25, 0.75];
+        params.axes.sram_banks = vec![4, 16, 4];
+        let canon = canonicalize_params(&params);
+        assert_eq!(canon.axes.buffer_splits, vec![0.25, 0.75]);
+        assert_eq!(canon.axes.sram_banks, vec![4, 16]);
     }
 
     #[test]
@@ -668,6 +761,8 @@ mod tests {
             ("FRAME drive=;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "must not be empty"),
             ("FRAME drive=x;drive=y;scenario=tunnel;model=SPP2;scale=reduced;seed=1;frames=2;index=0", "duplicate field"),
             ("SWEEP scale=reduced;models=SPP2;frames=1;seed=1;profile=ramp:0.5:inf;delta=0;pe=16x16;sram=1;ghz=1;bpc=12.8;df=7", "finite"),
+            ("SWEEP scale=reduced;models=SPP2;frames=1;seed=1;profile=const;delta=0;pe=16x16;sram=1;ghz=1;bpc=12.8;df=7;adaptive=2", "adaptive expects 0 or 1"),
+            ("SWEEP scale=reduced;models=SPP2;frames=1;seed=1;profile=const;delta=0;pe=16x16;sram=1;ghz=1;bpc=12.8;df=7;bank=many", "bank expects an integer"),
         ] {
             let err = decode_request(payload).unwrap_err();
             assert!(err.contains(needle), "'{err}' lacks '{needle}'");

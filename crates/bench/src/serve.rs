@@ -224,6 +224,14 @@ struct ServiceStats {
     frames_served: u64,
     /// Requests answered with `ERR`.
     errors: u64,
+    /// Adaptive-exploration counters aggregated across every *executed*
+    /// sweep (cache hits and joins re-serve bytes, they do not explore):
+    /// cells screened out on a roofline bound, cells fully simulated, and
+    /// drive frames the screen saved. Exhaustive sweeps count every cell
+    /// as simulated and save nothing.
+    cells_screened: u64,
+    cells_simulated: u64,
+    frames_saved: u64,
     /// Delta-execution counters aggregated across every served sweep and
     /// every drive stream (drained per-request via
     /// [`FrameDeltaState::take_stats`], so nothing is double-counted).
@@ -702,6 +710,9 @@ fn handle_sweep(shared: &Shared, params: &DseParams) -> Response {
             {
                 let mut st = lock_ranked(&shared.state, lockdep::Rank::State);
                 st.stats.delta.merge(&result.delta_stats);
+                st.stats.cells_screened += result.cells_screened as u64;
+                st.stats.cells_simulated += result.cells_simulated as u64;
+                st.stats.frames_saved += result.frames_saved as u64;
                 st.cache.insert(key.clone(), Arc::clone(&body));
                 st.inflight.remove(&key);
             }
@@ -799,7 +810,7 @@ fn stats_response(shared: &Shared) -> Response {
         0.0
     };
     let body = format!(
-        "requests_total={}\nsweeps_requested={}\nsweeps_executed={}\ncache_hits={}\ncache_hit_rate={hit_rate}\ndedup_joined={}\nframes_served={}\nerrors={}\ninflight={}\ncache_entries={}\ncache_bytes={}\nstreams={}\nbudget_available={}\ndelta_frames_total={}\ndelta_frames_delta={}\ndelta_layers_reused={}\ndelta_layers_patched={}\ndelta_layers_full={}\ndelta_rows_swept={}\ndelta_rows_full_equivalent={}\ndelta_modelled_speedup={}",
+        "requests_total={}\nsweeps_requested={}\nsweeps_executed={}\ncache_hits={}\ncache_hit_rate={hit_rate}\ndedup_joined={}\nframes_served={}\nerrors={}\ninflight={}\ncache_entries={}\ncache_bytes={}\nstreams={}\nbudget_available={}\ncells_screened={}\ncells_simulated={}\nframes_saved={}\ndelta_frames_total={}\ndelta_frames_delta={}\ndelta_layers_reused={}\ndelta_layers_patched={}\ndelta_layers_full={}\ndelta_rows_swept={}\ndelta_rows_full_equivalent={}\ndelta_modelled_speedup={}",
         stats.requests_total,
         stats.sweeps_requested,
         stats.sweeps_executed,
@@ -812,6 +823,9 @@ fn stats_response(shared: &Shared) -> Response {
         st.cache.bytes,
         st.streams.len(),
         shared.budget.available(),
+        stats.cells_screened,
+        stats.cells_simulated,
+        stats.frames_saved,
         stats.delta.frames_total,
         stats.delta.frames_delta,
         stats.delta.layers_reused,

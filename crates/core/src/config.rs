@@ -5,6 +5,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Gather/scatter lane count of the GSU crossbar — the SRAM banking level at
+/// which every lane has a private bank and scatter never conflicts. This is
+/// the default (and the paper's) banking; sweeping `sram_banks` below it
+/// models cheaper crossbars that serialise conflicting accesses.
+pub const GATHER_SCATTER_LANES: u32 = 16;
+
 /// Hardware configuration of a SPADE instance.
 ///
 /// The paper evaluates two design points: a high-end 64×64 MXU (8 TOPS at
@@ -27,6 +33,16 @@ pub struct SpadeConfig {
     pub rule_buf_kib: u64,
     /// DRAM bandwidth in bytes per cycle.
     pub dram_bytes_per_cycle: f64,
+    /// Fraction of the input+output buffer pool given to the input buffer.
+    /// `0.0` is the sentinel for "keep the base design's split" (the only
+    /// value the paper evaluates); a positive fraction redistributes
+    /// `buf_in_kib + buf_out_kib` while keeping their sum — and therefore
+    /// total SRAM and area — unchanged.
+    pub buffer_split: f64,
+    /// Number of SRAM banks behind the GSU crossbar. At the default
+    /// ([`GATHER_SCATTER_LANES`]) every lane has a private bank; fewer banks
+    /// serialise conflicting scatter accesses into exposed stall cycles.
+    pub sram_banks: u32,
 }
 
 impl SpadeConfig {
@@ -42,6 +58,8 @@ impl SpadeConfig {
             buf_wgt_kib: 64,
             rule_buf_kib: 32,
             dram_bytes_per_cycle: 25.6,
+            buffer_split: 0.0,
+            sram_banks: GATHER_SCATTER_LANES,
         }
     }
 
@@ -57,6 +75,8 @@ impl SpadeConfig {
             buf_wgt_kib: 32,
             rule_buf_kib: 16,
             dram_bytes_per_cycle: 12.8,
+            buffer_split: 0.0,
+            sram_banks: GATHER_SCATTER_LANES,
         }
     }
 
@@ -100,20 +120,57 @@ impl SpadeConfig {
         self
     }
 
+    /// Returns this configuration with `frac` of the input+output buffer
+    /// pool given to the input buffer (each side floored at 1 KiB, the pool
+    /// total — and therefore total SRAM and area — preserved). `frac <= 0`
+    /// is the sentinel for the base design's split and leaves the buffers
+    /// untouched.
+    #[must_use]
+    pub fn with_buffer_split(mut self, frac: f64) -> Self {
+        if frac <= 0.0 {
+            self.buffer_split = 0.0;
+            return self;
+        }
+        let pool = self.buf_in_kib + self.buf_out_kib;
+        let input = (((pool as f64) * frac).round() as u64).clamp(1, pool.saturating_sub(1).max(1));
+        self.buf_in_kib = input;
+        self.buf_out_kib = (pool - input).max(1);
+        self.buffer_split = frac;
+        self
+    }
+
+    /// Returns this configuration with a different SRAM bank count behind
+    /// the GSU crossbar (floored at 1).
+    #[must_use]
+    pub fn with_sram_banks(mut self, banks: u32) -> Self {
+        self.sram_banks = banks.max(1);
+        self
+    }
+
     /// Compact label identifying this design point in sweep output, e.g.
     /// `"32x32/240KiB/1GHz/12.8Bpc"` — form factor, then clock, then
     /// bandwidth, so labels of axis-insensitive models can drop trailing
     /// tokens.
     #[must_use]
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}x{}/{}KiB/{}GHz/{}Bpc",
             self.pe_rows,
             self.pe_cols,
             self.total_sram_kib(),
             self.freq_ghz,
             self.dram_bytes_per_cycle
-        )
+        );
+        // Non-default buffer split / banking append their own tokens so every
+        // legacy label (and every golden export that pins one) stays
+        // byte-identical.
+        if self.buffer_split > 0.0 {
+            label.push_str(&format!("/bs{}", self.buffer_split));
+        }
+        if self.sram_banks != GATHER_SCATTER_LANES {
+            label.push_str(&format!("/{}bk", self.sram_banks));
+        }
+        label
     }
 
     /// Number of processing elements.
@@ -231,6 +288,38 @@ mod tests {
         assert!(label.contains("25.6Bpc"), "{label}");
         let overclocked = SpadeConfig::high_end().with_freq_ghz(1.5).label();
         assert!(overclocked.contains("1.5GHz"), "{overclocked}");
+    }
+
+    #[test]
+    fn buffer_split_preserves_pool_and_area_inputs() {
+        let base = SpadeConfig::high_end();
+        let pool = base.buf_in_kib + base.buf_out_kib;
+        for frac in [0.125, 0.25, 0.5, 0.75] {
+            let c = base.with_buffer_split(frac);
+            assert_eq!(c.buf_in_kib + c.buf_out_kib, pool, "frac {frac}");
+            assert_eq!(c.total_sram_kib(), base.total_sram_kib(), "frac {frac}");
+            assert!(c.buf_in_kib >= 1 && c.buf_out_kib >= 1);
+        }
+        // The sentinel keeps the base split and the legacy label.
+        let sentinel = base.with_buffer_split(0.0);
+        assert_eq!(sentinel, base);
+        assert_eq!(sentinel.label(), base.label());
+    }
+
+    #[test]
+    fn non_default_axes_extend_the_label() {
+        let c = SpadeConfig::high_end()
+            .with_buffer_split(0.25)
+            .with_sram_banks(8);
+        assert!(c.label().ends_with("/bs0.25/8bk"), "{}", c.label());
+        let banks_only = SpadeConfig::high_end().with_sram_banks(4);
+        assert!(
+            banks_only.label().ends_with("/4bk"),
+            "{}",
+            banks_only.label()
+        );
+        let default_banks = SpadeConfig::high_end().with_sram_banks(GATHER_SCATTER_LANES);
+        assert_eq!(default_banks.label(), SpadeConfig::high_end().label());
     }
 
     #[test]

@@ -109,11 +109,19 @@ pub fn schedule_layer(
     };
     // Scatter is double-buffered; it only becomes exposed for deconvolution
     // without ganged scatter, where every kernel's outputs are flushed densely.
-    let scatter_cycles = if matches!(spec.kind, ConvKind::SpDeconv) && !opts.ganged_scatter {
-        q * ch_tiles_out / 4
-    } else {
-        0
-    };
+    // Banking below the lane count serialises conflicting gather/scatter
+    // accesses: each rule loses (lanes - banks)/lanes of a cycle to conflict
+    // arbitration, integer-folded here so the default banking is exactly the
+    // legacy model (zero added cycles).
+    let lanes = u64::from(crate::config::GATHER_SCATTER_LANES);
+    let banks = u64::from(config.sram_banks).min(lanes);
+    let bank_stall_cycles = r * (lanes - banks) / lanes;
+    let scatter_cycles = bank_stall_cycles
+        + if matches!(spec.kind, ConvKind::SpDeconv) && !opts.ganged_scatter {
+            q * ch_tiles_out / 4
+        } else {
+            0
+        };
     // Rule generation overlaps computation after the first tile.
     let rgu = RuleGenerationUnit::new();
     let rulegen_total = rgu.cycles_for(a as usize, q as usize, r);
@@ -208,6 +216,26 @@ mod tests {
         assert!(base.scatter_cycles > 0);
         assert_eq!(opt.scatter_cycles, 0);
         assert!(opt.total_cycles < base.total_cycles);
+    }
+
+    #[test]
+    fn reduced_banking_adds_exposed_stall_cycles() {
+        let w = workload(ConvKind::SpConv, 8_000, 64);
+        let base_cfg = SpadeConfig::high_end();
+        let base = schedule_layer(&w, &base_cfg, &DataflowOptions::all_enabled());
+        assert_eq!(base.scatter_cycles, 0);
+        let banked_cfg = base_cfg.with_sram_banks(8);
+        let banked = schedule_layer(&w, &banked_cfg, &DataflowOptions::all_enabled());
+        assert_eq!(banked.scatter_cycles, w.rules.max(1) / 2);
+        assert!(banked.total_cycles >= base.total_cycles);
+        // Banking above the lane count cannot help (every lane already has a
+        // private bank).
+        let over = schedule_layer(
+            &w,
+            &base_cfg.with_sram_banks(64),
+            &DataflowOptions::all_enabled(),
+        );
+        assert_eq!(over.total_cycles, base.total_cycles);
     }
 
     #[test]

@@ -51,11 +51,33 @@ impl ActiveTileManager {
     /// (`4 × M` bytes per output pillar).
     #[must_use]
     pub fn plan(&self, workload: &LayerWorkload) -> TilePlan {
-        let a = workload.input_coords.len().max(1);
-        let q = workload.output_coords.len().max(1);
-        let c = workload.spec.in_channels.max(1) as u64;
-        let m = workload.spec.out_channels.max(1) as u64;
-        let k = workload.spec.kernel.num_taps() as u64;
+        self.plan_for_counts(
+            workload.input_coords.len(),
+            workload.output_coords.len(),
+            workload.spec.in_channels,
+            workload.spec.out_channels,
+            workload.spec.kernel.num_taps(),
+        )
+    }
+
+    /// Plans the active tiles from raw workload counts — the same arithmetic
+    /// as [`ActiveTileManager::plan`] without needing a materialised
+    /// [`LayerWorkload`], so analytic lower bounds (the adaptive DSE's
+    /// roofline screen) can reuse the exact tile plan the simulator will use.
+    #[must_use]
+    pub fn plan_for_counts(
+        &self,
+        active_inputs: usize,
+        active_outputs: usize,
+        in_channels: usize,
+        out_channels: usize,
+        kernel_taps: usize,
+    ) -> TilePlan {
+        let a = active_inputs.max(1);
+        let q = active_outputs.max(1);
+        let c = in_channels.max(1) as u64;
+        let m = out_channels.max(1) as u64;
+        let k = kernel_taps as u64;
         // Input-side limit: pillars that fit in the input buffer.
         let by_input = (self.buf_in_bytes / c).max(1) as usize;
         // Output-side limit: because indices progress together, an input tile

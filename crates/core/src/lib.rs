@@ -49,7 +49,7 @@ pub use accelerator::{
     simulate_network_via_layers, Accelerator, NetworkPerf, SpadeAccelerator,
     ENCODER_MXU_UTILIZATION,
 };
-pub use config::{DataflowOptions, SpadeConfig};
+pub use config::{DataflowOptions, SpadeConfig, GATHER_SCATTER_LANES};
 pub use dataflow::LayerPerf;
 pub use gsu::ActiveTileManager;
 pub use report::{AcceleratorReport, ReportTable, ReportValue};

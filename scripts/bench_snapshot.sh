@@ -30,6 +30,16 @@ t0=$(now_ms)
 t1=$(now_ms)
 FULL_MS=$(( t1 - t0 ))
 
+t0=$(now_ms)
+./target/release/spade-experiments dse --enlarged --exhaustive --jobs 1 >/dev/null
+t1=$(now_ms)
+ENLARGED_EX_MS=$(( t1 - t0 ))
+
+t0=$(now_ms)
+./target/release/spade-experiments dse --enlarged --adaptive --jobs 1 >/dev/null
+t1=$(now_ms)
+ENLARGED_AD_MS=$(( t1 - t0 ))
+
 {
     echo '{'
     echo '  "benches": ['
@@ -44,6 +54,6 @@ FULL_MS=$(( t1 - t0 ))
         printf "    {\"id\": \"%s\", \"median_ms\": %.6f},\n", id, ms
     }' "$RAW" | sed '$ s/,$//'
     echo '  ],'
-    echo "  \"dse\": {\"reduced_grid_jobs1_ms\": ${REDUCED_MS}, \"full_grid_jobs1_ms\": ${FULL_MS}}"
+    echo "  \"dse\": {\"reduced_grid_jobs1_ms\": ${REDUCED_MS}, \"full_grid_jobs1_ms\": ${FULL_MS}, \"enlarged_exhaustive_jobs1_ms\": ${ENLARGED_EX_MS}, \"enlarged_adaptive_jobs1_ms\": ${ENLARGED_AD_MS}}"
     echo '}'
 } > "$OUT"

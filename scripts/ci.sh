@@ -10,7 +10,7 @@
 #   4. cargo test -q            — unit + integration + property + doc tests
 #   5. dse smoke with --jobs 4  — the parallel sweep path, reduced grid,
 #                                 legacy drive + one scripted scenario,
-#                                 full-sweep and delta execution
+#                                 full-sweep, delta, and adaptive execution
 #   6. perf smoke               — reduced dse (release) vs committed reference
 #   7. serve smoke              — spade-serve + 50 spade-loadgen requests:
 #                                 warm rate > 0, zero errors, clean SHUTDOWN,
@@ -41,6 +41,13 @@ cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --
 
 echo "==> dse smoke (stop-and-go scenario, temporal delta execution)"
 cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --scenario stop-and-go --delta
+
+echo "==> dse smoke (adaptive exploration, reduced grid)"
+adaptive_out=$(cargo run -q -p spade-bench --bin spade-experiments -- --reduced dse --jobs 4 --adaptive)
+echo "$adaptive_out" | grep -q "cells screened by roofline bound" || {
+    echo "adaptive smoke FAILED: no screening summary in output"
+    exit 1
+}
 
 echo "==> perf smoke (release reduced dse vs committed reference)"
 scripts/perf_smoke.sh

@@ -19,6 +19,8 @@ fn small_params() -> DseParams {
         sram_scales: vec![0.5, 1.0],
         freq_ghz: vec![1.0],
         dram_bytes_per_cycle: vec![25.6],
+        buffer_splits: vec![0.0],
+        sram_banks: vec![spade::core::GATHER_SCATTER_LANES],
         dataflow: vec![DataflowOptions::all_enabled()],
     };
     params.num_frames = 3;

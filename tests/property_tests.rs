@@ -416,6 +416,8 @@ mod protocol_props {
             sram_scales: s.vec(3, Stream::step),
             freq_ghz: s.vec(3, Stream::step),
             dram_bytes_per_cycle: s.vec(3, Stream::step),
+            buffer_splits: s.vec(3, |s| s.below(10) as f64 / 10.0),
+            sram_banks: s.vec(3, |s| (s.below(16) + 1) as u32),
             dataflow: s.vec(3, |s| {
                 let mask = s.below(8);
                 DataflowOptions {
@@ -457,6 +459,7 @@ mod protocol_props {
             profile,
             scenario,
             delta: s.below(2) == 0,
+            adaptive: s.below(2) == 0,
         }
     }
 
@@ -479,6 +482,8 @@ mod protocol_props {
         scramble(&mut out.axes.sram_scales, rot, rev);
         scramble(&mut out.axes.freq_ghz, rot, rev);
         scramble(&mut out.axes.dram_bytes_per_cycle, rot, rev);
+        scramble(&mut out.axes.buffer_splits, rot, rev);
+        scramble(&mut out.axes.sram_banks, rot, rev);
         scramble(&mut out.axes.dataflow, rot, rev);
         out
     }

@@ -29,6 +29,8 @@ fn small_params() -> DseParams {
         sram_scales: vec![0.5, 1.0],
         freq_ghz: vec![1.0],
         dram_bytes_per_cycle: vec![25.6],
+        buffer_splits: vec![0.0],
+        sram_banks: vec![spade::core::GATHER_SCATTER_LANES],
         dataflow: vec![DataflowOptions::all_enabled()],
     };
     params.num_frames = 3;
@@ -119,6 +121,58 @@ fn served_sweep_is_byte_identical_to_direct_execution_and_caches() {
         Some("1")
     );
     assert_eq!(counters.get("cache_hits").map(String::as_str), Some("1"));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn served_adaptive_sweep_matches_direct_execution_and_exports_counters() {
+    let server = test_server();
+    let mut client = connect(&server);
+
+    // An adaptive request with the new axes swept: the cold-path execution
+    // goes through the screening explorer, and the reply must still be
+    // byte-identical to a direct canonical adaptive run.
+    let mut params = small_params();
+    params.axes.buffer_splits = vec![0.0, 0.25, 0.75];
+    params.axes.sram_banks = vec![spade::core::GATHER_SCATTER_LANES, 4];
+    params.adaptive = true;
+    let direct = run_dse(&canonicalize_params(&params));
+
+    let cold = send(&mut client, &Request::Sweep(params.clone()));
+    match &cold {
+        Response::Ok { body, .. } => {
+            assert_eq!(body, &direct.to_csv(), "served adaptive CSV differs");
+        }
+        Response::Err(message) => panic!("adaptive SWEEP failed: {message}"),
+    }
+    assert_eq!(cold.meta_field("hit"), Some("0"));
+
+    // The exhaustive spelling of the same grid keys a *different* cache
+    // entry (its export bytes differ), so it executes rather than hits.
+    params.adaptive = false;
+    let exhaustive = send(&mut client, &Request::Sweep(params));
+    assert_eq!(exhaustive.meta_field("hit"), Some("0"));
+
+    // STATS aggregates the explorer's budget counters across executed
+    // sweeps: the adaptive run screened some cells, the exhaustive run
+    // contributed simulated cells only.
+    let counters = stats(&mut client);
+    let count = |key: &str| -> usize {
+        counters
+            .get(key)
+            .unwrap_or_else(|| panic!("STATS missing {key}: {counters:?}"))
+            .parse()
+            .expect("numeric counter")
+    };
+    assert!(count("cells_screened") > 0);
+    assert_eq!(
+        count("cells_screened") + count("cells_simulated"),
+        direct.cells.len() * 2,
+        "both executed sweeps contribute their cells: {counters:?}"
+    );
+    assert!(count("frames_saved") >= count("cells_screened"));
 
     server.shutdown();
     server.join();
