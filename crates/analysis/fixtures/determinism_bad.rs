@@ -1,32 +1,48 @@
-//! Known-bad fixture for the determinism pass: hash-order iteration feeding
-//! an export, plus unannotated wall-clock reads.
+//! Known-bad fixture for the determinism taint pass: hash-order iteration
+//! and wall-clock reads inside functions that reach an export sink through
+//! the call graph.
 
 use std::collections::{HashMap, HashSet};
 use std::time::{Instant, SystemTime};
 
-fn export_rows(table: &HashMap<u32, u32>) -> Vec<u32> {
-    let mut rows = Vec::new();
-    // BUG: emitted in hash order — byte-identical export is impossible.
-    for (_k, v) in table.iter() {
-        rows.push(*v);
-    }
-    rows
+struct Table;
+
+impl Table {
+    fn push_row(&mut self, _row: Vec<u32>) {}
 }
 
-fn export_keys(table: &HashMap<u32, u32>) -> Vec<u32> {
+/// Sink-site function: contains the `push_row` call, so it seeds coverage.
+fn export_report(table: &HashMap<u32, u32>, out: &mut Table) {
+    // BUG: emitted in hash order straight into the report.
+    for v in table.values() {
+        out.push_row(vec![*v]);
+    }
+}
+
+/// Covered as a callee of `assemble` (its result flows up into the export).
+fn hashed_keys(table: &HashMap<u32, u32>) -> Vec<u32> {
     let seen: HashSet<u32> = table.keys().copied().collect();
     let mut out = Vec::new();
+    // BUG: hash-order loop two hops from the sink.
     for key in seen {
         out.push(key);
     }
     out
 }
 
-fn stamp_report() -> (u128, u64) {
+/// Covered as a callee of `assemble`.
+fn stamp() -> (u128, u64) {
     let wall = SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .unwrap_or_default()
         .as_millis();
     let mono = Instant::now().elapsed().as_nanos() as u64;
     (wall, mono)
+}
+
+/// Sink-reaching: calls `export_report`, which holds the sink site.
+fn assemble(table: &HashMap<u32, u32>, out: &mut Table) {
+    let _keys = hashed_keys(table);
+    let _t = stamp();
+    export_report(table, out);
 }

@@ -1,11 +1,20 @@
-//! Known-good fixture for the determinism pass: hash containers used only
-//! for membership and order-insensitive reductions, annotated where hash
-//! iteration is genuinely harmless, wall clock annotated as timing-only.
+//! Known-good fixture for the determinism taint pass: the same export-
+//! reaching shape as the bad fixture, but hash containers are used only for
+//! membership and order-insensitive reductions, annotated where hash
+//! iteration is genuinely harmless, and the wall clock is annotated as
+//! timing-only.
 
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
-fn export_rows(table: &HashMap<u32, u32>) -> Vec<u32> {
+struct Table;
+
+impl Table {
+    fn push_row(&mut self, _row: Vec<u32>) {}
+}
+
+/// Covered: called beneath `emit`, which holds the sink site.
+fn sorted_rows(table: &HashMap<u32, u32>) -> Vec<u32> {
     // lint:allow(hash-iter): collected then sorted — iteration order never
     // reaches the output.
     let mut rows: Vec<u32> = table.values().copied().collect();
@@ -13,14 +22,24 @@ fn export_rows(table: &HashMap<u32, u32>) -> Vec<u32> {
     rows
 }
 
+/// Covered: membership tests don't depend on iteration order.
 fn count_members(keys: &[u32], seen: &HashSet<u32>) -> usize {
     keys.iter().filter(|k| seen.contains(k)).count()
 }
 
+/// Covered: the deadline never reaches the export.
 fn bounded_wait() -> bool {
     // lint:allow(wall-clock): deadline bookkeeping only; nothing exported.
     let started = Instant::now();
     started.elapsed().as_millis() < 10
+}
+
+/// Sink-site function tying everything into taint coverage.
+fn emit(table: &HashMap<u32, u32>, seen: &HashSet<u32>, out: &mut Table) {
+    let rows = sorted_rows(table);
+    let _n = count_members(&rows, seen);
+    while bounded_wait() {}
+    out.push_row(rows);
 }
 
 #[cfg(test)]

@@ -1,0 +1,17 @@
+//! Known-bad fixture for the schema-drift pass: a column was added to the
+//! exporter's base list (`rows_swept`) without regenerating
+//! `schema_golden.csv`, and a conditional push duplicates a base column.
+
+pub struct Sweep {
+    pub delta: bool,
+}
+
+impl Sweep {
+    pub fn to_table(&self) -> Vec<&'static str> {
+        let mut headers = vec!["workload", "pe_rows", "latency_ms", "rows_swept"];
+        if self.delta {
+            headers.push("pe_rows");
+        }
+        headers
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-good fixture for the schema-drift pass: the base column list
+//! matches `schema_golden.csv` exactly; the conditional push only appends.
+
+pub struct Sweep {
+    pub delta: bool,
+}
+
+impl Sweep {
+    pub fn to_table(&self) -> Vec<&'static str> {
+        let mut headers = vec!["workload", "pe_rows", "latency_ms"];
+        if self.delta {
+            headers.push("delta_speedup");
+        }
+        headers
+    }
+}

@@ -1,0 +1,19 @@
+//! Cross-file taint fixture, file A: the export side. `write_report` holds
+//! the sink site; `collect_cells` reaches it and pulls values from file B
+//! (`taint_chain_bad_b.rs`), so the nondeterminism source over there is two
+//! call hops from the sink and in a different file.
+
+struct Table;
+
+impl Table {
+    fn push_row(&mut self, _row: Vec<u64>) {}
+}
+
+fn write_report(out: &mut Table, vals: Vec<u64>) {
+    out.push_row(vals);
+}
+
+fn collect_cells(out: &mut Table) {
+    let vals = gather_values();
+    write_report(out, vals);
+}

@@ -1,0 +1,15 @@
+//! Cross-file taint fixture, file B: the source side. `gather_values` is
+//! covered only because file A's `collect_cells` calls it on the way to
+//! `push_row` — the finding's chain must cross the file boundary.
+
+use std::collections::HashMap;
+
+fn gather_values() -> Vec<u64> {
+    let table: HashMap<u64, u64> = HashMap::new();
+    let mut out = Vec::new();
+    // BUG: hash-order iteration, two hops (and one file) from the sink.
+    for (_k, v) in table.iter() {
+        out.push(*v);
+    }
+    out
+}

@@ -1,0 +1,27 @@
+//! Known-bad fixture for the units pass: picojoules added to cycles, a
+//! comparison across time scales, and a `pub fn` that launders a unit away
+//! at its API boundary.
+
+pub struct CostModel {
+    pub total_pj: f64,
+    pub stall_cycles: f64,
+    pub mac_pj: f64,
+}
+
+impl CostModel {
+    /// BUG: adds energy to a cycle count — dimensionally meaningless.
+    pub fn broken_total(&self) -> f64 {
+        self.total_pj + self.stall_cycles
+    }
+
+    /// BUG: the unit vanishes at the public API; callers can't know this is
+    /// picojoules.
+    pub fn mac_energy(&self) -> f64 {
+        self.mac_pj
+    }
+}
+
+/// BUG: compares nanoseconds against cycles without converting.
+fn deadline_hit(elapsed_ns: u64, budget_cycles: u64) -> bool {
+    elapsed_ns > budget_cycles
+}

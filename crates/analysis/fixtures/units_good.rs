@@ -1,0 +1,35 @@
+//! Known-good fixture for the units pass: conversions go through
+//! multiplication (which derives units and is deliberately unchecked),
+//! same-unit arithmetic is fine, and `// unit:` annotations carry units the
+//! naming convention can't.
+
+pub struct CostModel {
+    pub compute_pj: f64,
+    pub leakage_pj: f64,
+    /// Bank-conflict stall, tabulated.
+    // unit: cycles
+    pub stall: u64,
+    pub budget_cycles: u64,
+}
+
+impl CostModel {
+    /// Same unit on both sides: fine.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.leakage_pj
+    }
+
+    /// Annotated name compares against a suffixed one of the same unit.
+    pub fn stalled_out(&self) -> bool {
+        self.stall > self.budget_cycles
+    }
+
+    /// The public getter keeps the unit in its name.
+    pub fn compute_energy_pj(&self) -> f64 {
+        self.compute_pj
+    }
+}
+
+/// Multiplication derives a new unit and is unconstrained by the lattice.
+fn cycles_to_ns(cycles: u64, period_ns: f64) -> f64 {
+    cycles as f64 * period_ns
+}

@@ -1,0 +1,388 @@
+//! Name-based call graph over the [`SymbolIndex`].
+//!
+//! Each production function body is scanned for call sites and every site is
+//! resolved to candidate definitions:
+//!
+//! * `Type::method(…)` — the `(Type, method)` entry when the index has one,
+//!   else all same-name candidates.
+//! * `self.method(…)` — the enclosing `impl` type's method when it exists.
+//! * `var.method(…)` — the receiver's type when a `let var: Type` or
+//!   `let var = Type::new(…)`-shaped binding in the same body names it.
+//! * `name(…)` / `name::<T>(…)` — a nested local `fn name` shadows the
+//!   workspace namespace; otherwise all same-name candidates (conservative:
+//!   reachability over-approximates, it never misses).
+//!
+//! Macro invocation bodies are opaque: no call edges are extracted from the
+//! token tree of `mac!(…)` — macro-expanded code is not in the token stream,
+//! so pretending to resolve its surface tokens would attribute calls to the
+//! wrong functions. (Site-level passes, e.g. hash-iteration detection, still
+//! scan those tokens.)
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
+use std::collections::BTreeMap;
+
+/// One call site inside a production function.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Symbol index of the enclosing function.
+    pub caller: usize,
+    /// Bare callee name as written.
+    pub name: String,
+    /// Receiver type the site resolved against, when the lexer could see
+    /// one (`Type::method`, `self.method`, or a typed local).
+    pub recv_type: Option<String>,
+    /// Resolved candidate symbols (empty when the name matches nothing).
+    pub resolved: Vec<usize>,
+    pub line: usize,
+}
+
+/// Call graph: sites plus per-symbol adjacency in both directions.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub sites: Vec<CallSite>,
+    pub callees: Vec<Vec<usize>>,
+    pub callers: Vec<Vec<usize>>,
+}
+
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "fn", "move", "else",
+    "unsafe", "where", "impl", "dyn",
+];
+
+impl CallGraph {
+    pub fn build(files: &[SourceFile], index: &SymbolIndex) -> CallGraph {
+        let mut graph = CallGraph {
+            sites: Vec::new(),
+            callees: vec![Vec::new(); index.syms.len()],
+            callers: vec![Vec::new(); index.syms.len()],
+        };
+        for (si, sym) in index.syms.iter().enumerate() {
+            if sym.is_test {
+                continue;
+            }
+            extract_sites(files, index, si, &mut graph.sites);
+        }
+        for site in &graph.sites {
+            for &callee in &site.resolved {
+                if !graph.callees[site.caller].contains(&callee) {
+                    graph.callees[site.caller].push(callee);
+                }
+                if !graph.callers[callee].contains(&site.caller) {
+                    graph.callers[callee].push(site.caller);
+                }
+            }
+        }
+        graph
+    }
+}
+
+fn extract_sites(files: &[SourceFile], index: &SymbolIndex, si: usize, out: &mut Vec<CallSite>) {
+    let sym = &index.syms[si];
+    let file = &files[sym.file];
+    let func = &file.fns[sym.fn_idx];
+    let toks = file.toks();
+    // Token ranges of nested local fns: their calls belong to them, not us.
+    let nested: Vec<std::ops::Range<usize>> = index
+        .syms
+        .iter()
+        .filter(|other| other.parent_fn == Some(si))
+        .map(|other| files[other.file].fns[other.fn_idx].body.clone())
+        .collect();
+    let locals = local_types(toks, func.body.clone());
+    let mut i = func.body.start;
+    while i < func.body.end {
+        if nested.iter().any(|r| r.contains(&i)) {
+            i += 1;
+            continue;
+        }
+        let tok = &toks[i];
+        if tok.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // Macro invocation: skip its whole token tree.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            if let Some(open) = toks.get(i + 2) {
+                if let Some(close_ch) = match open.kind {
+                    TokKind::Punct('(') => Some((')', '(')),
+                    TokKind::Punct('[') => Some((']', '[')),
+                    TokKind::Punct('{') => Some(('}', '{')),
+                    _ => None,
+                } {
+                    i = matching_delim(toks, i + 2, close_ch.1, close_ch.0) + 1;
+                    continue;
+                }
+            }
+            i += 2;
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&tok.text.as_str()) || (i >= 1 && toks[i - 1].is_ident("fn"))
+        {
+            i += 1;
+            continue;
+        }
+        // A call is `name (` or `name ::< … > (` (turbofish).
+        let after = match call_args_open(toks, i) {
+            Some(open) => open,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        let (recv_type, resolved) = resolve(index, si, toks, i, &tok.text, &locals);
+        out.push(CallSite {
+            caller: si,
+            name: tok.text.clone(),
+            recv_type,
+            resolved,
+            line: tok.line,
+        });
+        // Resume inside the argument list: nested calls are sites too.
+        i = after + 1;
+    }
+}
+
+/// If token `i` heads a call, returns the index of its opening `(` —
+/// directly adjacent or after a `::<…>` turbofish.
+fn call_args_open(toks: &[Tok], i: usize) -> Option<usize> {
+    let next = toks.get(i + 1)?;
+    if next.is_punct('(') {
+        return Some(i + 1);
+    }
+    // name ::< T, Vec<U> > ( … )
+    if next.is_punct(':') && toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+        let lt = toks.get(i + 3)?;
+        if !lt.is_punct('<') {
+            return None;
+        }
+        let mut depth = 0i64;
+        for (j, t) in toks.iter().enumerate().skip(i + 3) {
+            match t.kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return toks
+                            .get(j + 1)
+                            .is_some_and(|t| t.is_punct('('))
+                            .then_some(j + 1);
+                    }
+                }
+                TokKind::Punct('(' | ')' | ';' | '{') => return None,
+                _ => {}
+            }
+            if j > i + 64 {
+                return None;
+            }
+        }
+        return None;
+    }
+    None
+}
+
+fn resolve(
+    index: &SymbolIndex,
+    caller: usize,
+    toks: &[Tok],
+    i: usize,
+    name: &str,
+    locals: &BTreeMap<String, String>,
+) -> (Option<String>, Vec<usize>) {
+    // Type::name(…) — the path segment right before the `::`.
+    if i >= 3 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':') {
+        if let Some(seg) = toks.get(i - 3).filter(|t| t.kind == TokKind::Ident) {
+            let typed = index.by_type_method(&seg.text, name);
+            if !typed.is_empty() {
+                return (Some(seg.text.clone()), typed.to_vec());
+            }
+            return (Some(seg.text.clone()), index.by_name(name).to_vec());
+        }
+    }
+    // recv.name(…)
+    if i >= 2 && toks[i - 1].is_punct('.') && toks[i - 2].kind == TokKind::Ident {
+        let recv = &toks[i - 2].text;
+        let recv_type = if recv == "self" {
+            index.syms[caller].self_type.clone()
+        } else {
+            locals.get(recv).cloned()
+        };
+        if let Some(ty) = &recv_type {
+            let typed = index.by_type_method(ty, name);
+            if !typed.is_empty() {
+                return (recv_type, typed.to_vec());
+            }
+        }
+        return (recv_type, index.by_name(name).to_vec());
+    }
+    // Chained receiver (`foo().name()`, `a.b.name()`): method call on an
+    // expression — fall back to every candidate.
+    if i >= 1 && toks[i - 1].is_punct('.') {
+        return (None, index.by_name(name).to_vec());
+    }
+    // Bare name(…): a nested local fn shadows everything else.
+    if let Some(local) = index.local_fn(caller, name) {
+        return (None, vec![local]);
+    }
+    (None, index.by_name(name).to_vec())
+}
+
+/// `let [mut] var : Type` and `let [mut] var = Type::…` bindings in a body,
+/// keyed by variable name. Last binding wins, which matches shadowing for
+/// straight-line code (the only precision this pass aims for).
+fn local_types(toks: &[Tok], body: std::ops::Range<usize>) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for i in body.clone() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        while toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(var) = toks.get(k).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // `let var: Type …` — first ident after the colon.
+        if toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(ty) = toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                out.insert(var.text.clone(), ty.text.clone());
+                continue;
+            }
+        }
+        // `let var = Type::…` — constructor-style init.
+        if toks.get(k + 1).is_some_and(|t| t.is_punct('='))
+            && toks.get(k + 3).is_some_and(|t| t.is_punct(':'))
+            && toks.get(k + 4).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(ty) = toks.get(k + 2).filter(|t| t.kind == TokKind::Ident) {
+                out.insert(var.text.clone(), ty.text.clone());
+            }
+        }
+    }
+    out
+}
+
+fn matching_delim(toks: &[Tok], open: usize, open_ch: char, close_ch: char) -> usize {
+    let mut depth = 0i64;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(sources: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolIndex, CallGraph) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src))
+            .collect();
+        let index = SymbolIndex::build(&files);
+        let graph = CallGraph::build(&files, &index);
+        (files, index, graph)
+    }
+
+    fn edge(index: &SymbolIndex, graph: &CallGraph, from: &str, to: &str) -> bool {
+        index
+            .by_name(from)
+            .iter()
+            .any(|&f| graph.callees[f].iter().any(|&c| index.syms[c].name == to))
+    }
+
+    #[test]
+    fn turbofish_call_sites_are_edges() {
+        let (_, index, graph) = graph_of(&[(
+            "a.rs",
+            "fn parse<T>(s: &str) -> T { todo() }\nfn todo<T>() -> T { loop {} }\n\
+             fn main2() { let _: u32 = parse::<Vec<u32>>(\"x\"); }",
+        )]);
+        assert!(
+            edge(&index, &graph, "main2", "parse"),
+            "turbofish edge lost"
+        );
+    }
+
+    #[test]
+    fn macro_invocation_bodies_are_opaque() {
+        let (_, index, graph) = graph_of(&[(
+            "a.rs",
+            "fn compute() -> u32 { 1 }\nfn log_it() { my_macro!(compute()); }",
+        )]);
+        assert!(
+            !edge(&index, &graph, "log_it", "compute"),
+            "macro token trees must not contribute edges"
+        );
+    }
+
+    #[test]
+    fn shadowed_local_fn_wins_resolution() {
+        let (_, index, graph) = graph_of(&[(
+            "a.rs",
+            "fn helper() { external(); }\nfn external() {}\n\
+             fn outer() { fn helper() {} helper(); }",
+        )]);
+        let outer = index.by_name("outer")[0];
+        assert_eq!(graph.callees[outer].len(), 1);
+        let callee = graph.callees[outer][0];
+        assert_eq!(
+            index.syms[callee].parent_fn,
+            Some(outer),
+            "local fn shadows"
+        );
+        // The top-level helper's own edge is unaffected.
+        assert!(edge(&index, &graph, "helper", "external"));
+    }
+
+    #[test]
+    fn receiver_types_disambiguate_same_name_methods() {
+        let src = r#"
+            struct A; struct B;
+            impl A { fn run(&self) { a_only(); } }
+            impl B { fn run(&self) { b_only(); } }
+            fn a_only() {} fn b_only() {}
+            fn use_a() { let x = A::make(); x.run(); }
+            fn use_typed(b: u32) { let y: B = make_b(); y.run(); }
+            fn make_b() -> B { B }
+            impl A { fn make() -> A { A } }
+        "#;
+        let (_, index, graph) = graph_of(&[("a.rs", src)]);
+        let use_a = index.by_name("use_a")[0];
+        let a_run = index.by_type_method("A", "run")[0];
+        let b_run = index.by_type_method("B", "run")[0];
+        assert!(graph.callees[use_a].contains(&a_run));
+        assert!(!graph.callees[use_a].contains(&b_run));
+        let use_typed = index.by_name("use_typed")[0];
+        assert!(graph.callees[use_typed].contains(&b_run));
+        assert!(!graph.callees[use_typed].contains(&a_run));
+    }
+
+    #[test]
+    fn unknown_receivers_fall_back_to_all_candidates() {
+        let src = "struct A; struct B;\n\
+                   impl A { fn run(&self) {} }\n\
+                   impl B { fn run(&self) {} }\n\
+                   fn choose(x: &dyn Fn()) { opaque().run(); }\n\
+                   fn opaque() -> A { A }";
+        let (_, index, graph) = graph_of(&[("a.rs", src)]);
+        let choose = index.by_name("choose")[0];
+        let runs: Vec<usize> = graph.callees[choose]
+            .iter()
+            .copied()
+            .filter(|&c| index.syms[c].name == "run")
+            .collect();
+        assert_eq!(runs.len(), 2, "expression receivers resolve conservatively");
+    }
+}

@@ -1,24 +1,36 @@
-//! Determinism lints over result-affecting modules.
+//! Determinism taint: source→sink propagation over the workspace call graph.
 //!
 //! The repo pins byte-identical exports (CSV/JSON reports, rule books,
-//! protocol payloads), so two things are banned in the modules that feed
-//! them unless explicitly annotated:
+//! protocol payloads, cache keys). Instead of a hand-maintained list of
+//! "result-affecting modules", this pass computes which functions can feed
+//! those exports and flags nondeterminism *sources* inside them:
 //!
-//! * **Hash-order iteration** — any `.iter()`-family call or `for` loop over
-//!   a `HashMap`/`HashSet` named local, field, or static. Iteration order is
-//!   randomized per process, so it may only feed order-insensitive
-//!   reductions or sorted collections, stated via
-//!   `// lint:allow(hash-iter): reason`.
-//! * **Wall-clock reads** — `SystemTime::now()`, `Instant::now()`, and
-//!   thread-id reads. Timing-only uses (deadlines, throughput reports) are
-//!   annotated with `// lint:allow(wall-clock): reason`.
+//! * **Sources** — hash-container iteration (`map.iter()`, `for … in set`),
+//!   wall-clock/thread-id reads, and unseeded RNG construction
+//!   (`thread_rng()`, `from_entropy()`, `rand::random()`).
+//! * **Sinks** — [`ReportTable`] cell writes (`push_row`), protocol response
+//!   encoding (`Response::ok` / `Response::encode`, `encode_params`,
+//!   `encode_request`), `cache_key`, and rule-book construction
+//!   (`RuleBook::streamed` / `push_output` / `push`).
 //!
-//! Hash-typed names are discovered syntactically: a `name: …HashMap…` field
-//! or typed binding, or a `let name = …HashMap/HashSet…;` initializer.
+//! A function is **covered** when a sink transitively reaches it through the
+//! call graph in either direction: it can *reach a sink* (its return value
+//! or side effects feed an export) or it is *called beneath* such a function
+//! (its output flows upward into one). Every source site in a covered
+//! function is a finding, reported with the full chain — e.g.
+//! `HashMap::iter in X → called by Y → feeds push_row` — so a new module is
+//! covered the moment any export path touches it, with no list to maintain.
+//!
+//! Suppression stays per-site: `// lint:allow(hash-iter|wall-clock|
+//! unseeded-rng): reason`.
+//!
+//! [`ReportTable`]: ../../spade_core/report/struct.ReportTable.html
 
+use crate::callgraph::CallGraph;
 use crate::lexer::TokKind;
 use crate::source::{Finding, SourceFile};
-use std::collections::BTreeSet;
+use crate::symbols::SymbolIndex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 const ITER_METHODS: &[&str] = &[
     "iter",
@@ -32,12 +44,182 @@ const ITER_METHODS: &[&str] = &[
     "drain",
 ];
 
-pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
+/// Unseeded RNG constructors: all randomness in this repo must come from
+/// seeded SplitMix64 streams.
+const RNG_SOURCES: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
+
+/// `(receiver type constraint, callee name)` pairs that count as export
+/// sinks. A `None` constraint matches any receiver.
+const SINK_CALLS: &[(Option<&str>, &str)] = &[
+    (None, "push_row"),
+    (None, "cache_key"),
+    (None, "encode_params"),
+    (None, "encode_request"),
+    (Some("Response"), "ok"),
+    (Some("Response"), "encode"),
+    (Some("RuleBook"), "streamed"),
+    (Some("RuleBook"), "push_output"),
+    (Some("RuleBook"), "push"),
+];
+
+/// Everything the taint pass computes: findings plus the per-file coverage
+/// set the legacy-list regression check asserts against.
+#[derive(Debug, Default)]
+pub struct TaintAnalysis {
+    pub findings: Vec<Finding>,
+    /// Workspace-relative paths of files with at least one covered
+    /// production function.
+    pub covered_files: BTreeSet<String>,
+}
+
+/// How a covered function connects to a sink, for chain rendering.
+struct Coverage {
+    /// `sym → (next sym toward the sink, sink callee name if this sym holds
+    /// the sink site itself)`.
+    toward_sink: BTreeMap<usize, (Option<usize>, Option<String>)>,
+    /// For descendants of sink-reaching functions: the caller one step
+    /// closer to the sink-reaching set.
+    via_caller: BTreeMap<usize, usize>,
+}
+
+pub fn taint_pass(files: &[SourceFile], index: &SymbolIndex, graph: &CallGraph) -> TaintAnalysis {
+    let coverage = compute_coverage(index, graph);
+    let mut analysis = TaintAnalysis::default();
+    for (si, sym) in index.syms.iter().enumerate() {
+        if sym.is_test || !is_covered(&coverage, si) {
+            continue;
+        }
+        let file = &files[sym.file];
+        analysis.covered_files.insert(file.rel.clone());
+        let chain = render_chain(index, &coverage, si);
+        source_sites(file, sym.fn_idx, &chain, &mut analysis.findings);
+    }
+    analysis
+}
+
+fn is_covered(coverage: &Coverage, si: usize) -> bool {
+    coverage.toward_sink.contains_key(&si) || coverage.via_caller.contains_key(&si)
+}
+
+/// Files with at least one covered production fn, without scanning for
+/// sources — used by `analyze_tree`'s legacy-list cross-check.
+pub fn covered_files(
+    files: &[SourceFile],
+    index: &SymbolIndex,
+    graph: &CallGraph,
+) -> BTreeSet<String> {
+    let coverage = compute_coverage(index, graph);
+    index
+        .syms
+        .iter()
+        .enumerate()
+        .filter(|(si, sym)| !sym.is_test && is_covered(&coverage, *si))
+        .map(|(_, sym)| files[sym.file].rel.clone())
+        .collect()
+}
+
+fn compute_coverage(index: &SymbolIndex, graph: &CallGraph) -> Coverage {
+    let mut coverage = Coverage {
+        toward_sink: BTreeMap::new(),
+        via_caller: BTreeMap::new(),
+    };
+    // Seed: functions containing a sink call site.
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for site in &graph.sites {
+        let matches = SINK_CALLS.iter().any(|(ty, name)| {
+            site.name == *name && ty.is_none_or(|t| site.recv_type.as_deref() == Some(t))
+        });
+        if matches && !coverage.toward_sink.contains_key(&site.caller) {
+            coverage
+                .toward_sink
+                .insert(site.caller, (None, Some(site.name.clone())));
+            queue.push_back(site.caller);
+        }
+    }
+    // Backward over callers: anything that calls a sink-reaching fn reaches
+    // the sink itself.
+    while let Some(at) = queue.pop_front() {
+        for &caller in &graph.callers[at] {
+            if let std::collections::btree_map::Entry::Vacant(e) =
+                coverage.toward_sink.entry(caller)
+            {
+                e.insert((Some(at), None));
+                queue.push_back(caller);
+            }
+        }
+    }
+    // Forward over callees: helpers invoked beneath a sink-reaching fn feed
+    // their results upward into it.
+    let mut fwd: VecDeque<usize> = coverage.toward_sink.keys().copied().collect();
+    while let Some(at) = fwd.pop_front() {
+        for &callee in &graph.callees[at] {
+            if index.syms[callee].is_test {
+                continue;
+            }
+            if !coverage.toward_sink.contains_key(&callee)
+                && !coverage.via_caller.contains_key(&callee)
+            {
+                coverage.via_caller.insert(callee, at);
+                fwd.push_back(callee);
+            }
+        }
+    }
+    coverage
+}
+
+/// Renders the call chain from `si` to the sink it is covered by, e.g.
+/// `collect_rows → called by export_table → feeds push_row`.
+fn render_chain(index: &SymbolIndex, coverage: &Coverage, si: usize) -> String {
+    let mut parts: Vec<String> = vec![format!("`{}`", index.syms[si].name)];
+    let mut at = si;
+    let mut hops = 0;
+    // Climb callers until we land in the sink-reaching set.
+    while let Some(&caller) = coverage.via_caller.get(&at) {
+        parts.push(format!("called by `{}`", index.syms[caller].name));
+        at = caller;
+        hops += 1;
+        if hops > 12 {
+            break;
+        }
+    }
+    // Walk the sink-reaching chain forward to the sink site.
+    loop {
+        match coverage.toward_sink.get(&at) {
+            Some((_, Some(sink_name))) => {
+                parts.push(format!("feeds `{sink_name}`"));
+                break;
+            }
+            Some((Some(next), None)) => {
+                parts.push(format!("calls `{}`", index.syms[*next].name));
+                at = *next;
+            }
+            _ => break,
+        }
+        hops += 1;
+        if hops > 24 {
+            parts.push("…".to_string());
+            break;
+        }
+    }
+    parts.join(" → ")
+}
+
+/// Scans one production fn body for nondeterminism source sites.
+fn source_sites(file: &SourceFile, fn_idx: usize, chain: &str, findings: &mut Vec<Finding>) {
     let names = hash_names(file);
-    let mut findings = Vec::new();
     let toks = file.toks();
-    for i in 0..toks.len() {
-        if file.in_tests(i) || toks[i].kind != TokKind::Ident {
+    let body = file.fns[fn_idx].body.clone();
+    // Skip tokens belonging to nested local fns: they are covered (or not)
+    // as their own symbols.
+    let nested: Vec<std::ops::Range<usize>> = file
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(gi, f)| *gi != fn_idx && body.contains(&f.body.start) && f.body.end <= body.end)
+        .map(|(_, f)| f.body.clone())
+        .collect();
+    for i in body.clone() {
+        if nested.iter().any(|r| r.contains(&i)) || toks[i].kind != TokKind::Ident {
             continue;
         }
         let tok = &toks[i];
@@ -54,8 +236,8 @@ pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
                 line: tok.line,
                 lint: "hash-iter",
                 message: format!(
-                    "`{}.{}()` iterates a HashMap/HashSet in nondeterministic order in a \
-                     result-affecting module",
+                    "`{}.{}()` iterates a HashMap/HashSet in nondeterministic order on an \
+                     export-feeding path: {chain}",
                     toks[i - 2].text,
                     tok.text
                 ),
@@ -63,15 +245,14 @@ pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
         }
         // for pat in name { … }
         if tok.is_ident("for") {
-            if let Some(name_line) = for_loop_over(file, i, &names) {
+            if let Some((name, line)) = for_loop_over(file, i, &names) {
                 findings.push(Finding {
                     file: file.rel.clone(),
-                    line: name_line.1,
+                    line,
                     lint: "hash-iter",
                     message: format!(
-                        "`for … in {}` iterates a HashMap/HashSet in nondeterministic order in a \
-                         result-affecting module",
-                        name_line.0
+                        "`for … in {name}` iterates a HashMap/HashSet in nondeterministic order \
+                         on an export-feeding path: {chain}"
                     ),
                 });
             }
@@ -87,7 +268,8 @@ pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
                 line: tok.line,
                 lint: "wall-clock",
                 message: format!(
-                    "`{}::now()` read in a result-affecting module; annotate timing-only uses",
+                    "`{}::now()` read on an export-feeding path ({chain}); annotate timing-only \
+                     uses",
                     tok.text
                 ),
             });
@@ -104,11 +286,31 @@ pub fn determinism_pass(file: &SourceFile) -> Vec<Finding> {
                 file: file.rel.clone(),
                 line: tok.line,
                 lint: "wall-clock",
-                message: "thread-id read in a result-affecting module".to_string(),
+                message: format!("thread-id read on an export-feeding path: {chain}"),
+            });
+        }
+        // thread_rng() / from_entropy() / rand::random()
+        if (RNG_SOURCES.contains(&tok.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+            || (tok.is_ident("random")
+                && i >= 3
+                && toks[i - 1].is_punct(':')
+                && toks[i - 2].is_punct(':')
+                && toks[i - 3].is_ident("rand")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+        {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: tok.line,
+                lint: "unseeded-rng",
+                message: format!(
+                    "`{}()` constructs an unseeded RNG on an export-feeding path ({chain}); use \
+                     a seeded stream",
+                    tok.text
+                ),
             });
         }
     }
-    findings
 }
 
 /// If the `for` at token `i` loops directly over a hash-named variable,

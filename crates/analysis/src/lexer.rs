@@ -8,12 +8,18 @@
 //! `'a'` char-literal ambiguity. Everything it cannot classify becomes a
 //! single-character punctuation token.
 
-/// Token class. Literal payloads are discarded — no pass inspects them.
+/// Token class. Normal string-literal payloads are kept under `Str` (the
+/// schema-drift pass reads column names and format strings out of them);
+/// raw/byte strings and char literals become empty `Str`/`Literal` tokens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
     Ident,
     Punct(char),
+    /// Numeric or char literal; payload kept for numbers only.
     Literal,
+    /// String literal; payload is the raw source between the quotes
+    /// (escapes unprocessed), empty for raw and byte strings.
+    Str,
     Lifetime,
 }
 
@@ -96,25 +102,30 @@ pub fn lex(src: &str) -> Lexed {
                 line: start_line,
             });
         } else if c == '"' {
+            let start_line = line;
+            let start = i + 1;
             i = skip_string(&chars, i, &mut line);
             out.toks.push(Tok {
-                kind: TokKind::Literal,
-                text: String::new(),
-                line,
+                kind: TokKind::Str,
+                text: chars[start..i.saturating_sub(1).max(start)]
+                    .iter()
+                    .collect(),
+                line: start_line,
             });
         } else if c == '\'' {
             i = lex_quote(&chars, i, line, &mut out.toks);
         } else if let Some(next) = raw_string_start(&chars, i) {
+            let start_line = line;
             i = skip_raw_string(&chars, next, &mut line);
             out.toks.push(Tok {
-                kind: TokKind::Literal,
+                kind: TokKind::Str,
                 text: String::new(),
-                line,
+                line: start_line,
             });
         } else if c == 'b' && chars.get(i + 1) == Some(&'"') {
             i = skip_string(&chars, i + 1, &mut line);
             out.toks.push(Tok {
-                kind: TokKind::Literal,
+                kind: TokKind::Str,
                 text: String::new(),
                 line,
             });
@@ -313,11 +324,42 @@ mod tests {
     }
 
     #[test]
+    fn raw_and_byte_strings_are_str_tokens_without_payload() {
+        let lexed = lex("let a = r#\"raw\"#; let b = b\"bytes\"; let n = 42;");
+        let kinds: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Str | TokKind::Literal))
+            .map(|t| (t.kind, t.text.clone()))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                (TokKind::Str, String::new()),
+                (TokKind::Str, String::new()),
+                (TokKind::Literal, "42".to_string()),
+            ]
+        );
+    }
+
+    #[test]
     fn line_numbers_survive_multiline_constructs() {
         let src = "let a = \"one\nlong\nstring\";\nlet b = 1;";
         let lexed = lex(src);
         let b = lexed.toks.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn string_literal_payloads_are_kept() {
+        let lexed = lex("let h = vec![\"workload\", \"pe_rows\"];");
+        let lits: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, ["workload", "pe_rows"]);
     }
 
     #[test]

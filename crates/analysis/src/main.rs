@@ -1,21 +1,25 @@
 //! `spade-lint` CLI. Exit codes: 0 clean, 1 findings, 2 usage/io error.
 //!
 //! ```text
-//! spade-lint [--root DIR]            # all passes over the workspace
-//! spade-lint [--root DIR] --summary  # render the allowlist (stdout)
-//! spade-lint --lock-order FILE...    # lock pass only, explicit files
-//! spade-lint --determinism FILE...   # determinism pass only
-//! spade-lint --panics FILE...        # panic-surface pass only
+//! spade-lint [--root DIR]                  # all passes over the workspace
+//! spade-lint [--root DIR] --summary        # render the allowlist (stdout)
+//! spade-lint [--root DIR] --json           # machine-readable run report
+//! spade-lint --lock-order FILE...          # lock pass only, explicit files
+//! spade-lint --determinism FILE...         # taint pass only
+//! spade-lint --panics FILE...              # panic-surface pass only
+//! spade-lint --units FILE...               # units-of-measure pass only
+//! spade-lint --schema GOLDEN.csv FILE...   # table schema vs a golden header
 //! ```
 
-use spade_analysis::{analyze_files, analyze_tree, render_summary, Analysis, Pass};
+use spade_analysis::{analyze_files, analyze_tree, render_json, render_summary, Analysis, Pass};
 use std::path::PathBuf;
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
-        "usage: spade-lint [--root DIR] [--summary] \
-         [--lock-order|--determinism|--panics FILE...]"
+        "usage: spade-lint [--root DIR] [--summary] [--json] \
+         [--lock-order|--determinism|--panics|--units FILE...] \
+         [--schema GOLDEN FILE...]"
     );
     std::process::exit(2);
 }
@@ -23,6 +27,7 @@ fn usage_error(message: &str) -> ! {
 fn main() {
     let mut root = PathBuf::from(".");
     let mut summary = false;
+    let mut json = false;
     let mut pass: Option<(Pass, Vec<String>)> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -34,9 +39,17 @@ fn main() {
                 )
             }
             "--summary" => summary = true,
+            "--json" => json = true,
             "--lock-order" => pass = Some((Pass::LockOrder, it.by_ref().collect())),
             "--determinism" => pass = Some((Pass::Determinism, it.by_ref().collect())),
             "--panics" => pass = Some((Pass::Panics, it.by_ref().collect())),
+            "--units" => pass = Some((Pass::Units, it.by_ref().collect())),
+            "--schema" => {
+                let golden = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--schema expects a golden CSV then files"));
+                pass = Some((Pass::Schema(golden), it.by_ref().collect()));
+            }
             flag => usage_error(&format!("unknown flag: {flag}")),
         }
     }
@@ -53,12 +66,20 @@ fn main() {
         print!("{}", render_summary(&analysis));
         return;
     }
+    if json {
+        print!("{}", render_json(&analysis));
+        if !analysis.findings.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
     for finding in &analysis.findings {
         println!("{}", finding.render());
     }
     if analysis.findings.is_empty() {
         println!(
-            "spade-lint: clean — 0 findings ({} sites suppressed by {} annotations)",
+            "spade-lint: clean — 0 findings across {} files ({} sites suppressed by {} annotations)",
+            analysis.files_analyzed,
             analysis.suppressed,
             analysis.allows.len()
         );

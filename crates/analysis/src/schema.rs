@@ -1,0 +1,332 @@
+//! Export-schema drift detection.
+//!
+//! The sweep exporters hand-build their column sets (`vec!["workload", …]`
+//! plus conditional `headers.push("…")` extensions) and the serve loop
+//! hand-formats its `STATS` body as `key={}\n` lines. Nothing ties either
+//! to the committed golden CSVs or to the keys the integration tests and
+//! `spade-loadgen` read back, so a renamed or added column only surfaces as
+//! a confusing downstream diff. This pass extracts both schemas statically
+//! from the string literals and diffs them:
+//!
+//! * **Table columns** — the base `vec![…]` column list of an exporter fn
+//!   must match the committed golden CSV's header line exactly; conditional
+//!   `push`es may only *append* (the golden captures the legacy set, which
+//!   default runs must keep byte-identical).
+//! * **STATS keys** — every `key=` line produced by the serve formatters
+//!   must appear in the committed key list, and every key a consumer
+//!   `.get("…")`s must actually be produced.
+//!
+//! `schema-drift` findings are not suppressible: the fix is regenerating
+//! the golden, never an annotation.
+
+use crate::lexer::TokKind;
+use crate::source::{Finding, SourceFile};
+use std::collections::BTreeSet;
+
+/// The column list an exporter fn builds: the base `vec![…]` literal plus
+/// every `<headers>.push("…")` on the same variable, in token order.
+#[derive(Debug, Default, Clone)]
+pub struct TableColumns {
+    pub base: Vec<String>,
+    pub pushed: Vec<String>,
+    pub line: usize,
+}
+
+/// Extracts the column list from `fn_name` in `file`. Returns `None` when
+/// the fn is missing or builds no all-string `vec![…]` — callers treat that
+/// as drift (the extractor must keep up with the exporter's shape).
+pub fn table_columns(file: &SourceFile, fn_name: &str) -> Option<TableColumns> {
+    let toks = file.toks();
+    let func = file.production_fns().find(|f| f.name == fn_name)?;
+    let body = func.body.clone();
+    let mut out = TableColumns::default();
+    let mut vec_var: Option<String> = None;
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        // `let [mut] NAME = vec ! [ "a" , "b" , … ]` — all-string elements.
+        if out.base.is_empty()
+            && t.is_ident("vec")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            if let Some(cols) = string_vec_elements(file, i + 2) {
+                out.base = cols;
+                out.line = t.line;
+                vec_var = (1..=4)
+                    .filter_map(|back| toks.get(i.checked_sub(back + 1)?))
+                    .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut") && !t.is_ident("let"))
+                    .map(|t| t.text.clone());
+            }
+        }
+        // `NAME . push ( "col" )`
+        if let (Some(var), TokKind::Ident) = (&vec_var, t.kind) {
+            if t.text == *var
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("push"))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 4).is_some_and(|t| t.kind == TokKind::Str)
+            {
+                out.pushed.push(toks[i + 4].text.clone());
+            }
+        }
+        i += 1;
+    }
+    (!out.base.is_empty()).then_some(out)
+}
+
+/// The string elements of a `[ "a" , "b" ]` starting at the `[` token, or
+/// `None` when any element is not a plain string literal.
+fn string_vec_elements(file: &SourceFile, open: usize) -> Option<Vec<String>> {
+    let toks = file.toks();
+    if !toks.get(open)?.is_punct('[') {
+        return None;
+    }
+    let mut cols = Vec::new();
+    let mut j = open + 1;
+    loop {
+        let t = toks.get(j)?;
+        match t.kind {
+            TokKind::Punct(']') => return (!cols.is_empty()).then_some(cols),
+            TokKind::Punct(',') => j += 1,
+            TokKind::Str => {
+                cols.push(t.text.clone());
+                j += 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Diffs an extracted column list against a golden CSV header line.
+pub fn check_table_against_golden(
+    rel: &str,
+    fn_name: &str,
+    cols: &TableColumns,
+    golden_rel: &str,
+    golden_header: &str,
+) -> Vec<Finding> {
+    let golden: Vec<&str> = golden_header.trim().split(',').collect();
+    let mut findings = Vec::new();
+    for (pos, (got, want)) in cols
+        .base
+        .iter()
+        .map(String::as_str)
+        .zip(golden.iter().copied())
+        .enumerate()
+    {
+        if got != want {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: cols.line,
+                lint: "schema-drift",
+                message: format!(
+                    "`{fn_name}` column {pos} is `{got}` but {golden_rel} has `{want}` — \
+                     regenerate the golden or fix the exporter"
+                ),
+            });
+        }
+    }
+    if cols.base.len() != golden.len() {
+        let (longer, who) = if cols.base.len() > golden.len() {
+            (cols.base[golden.len()..].join(", "), "exporter adds")
+        } else {
+            (golden[cols.base.len()..].join(", "), "golden still lists")
+        };
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: cols.line,
+            lint: "schema-drift",
+            message: format!(
+                "`{fn_name}` base columns ({}) and {golden_rel} header ({}) disagree: \
+                 {who} [{longer}]",
+                cols.base.len(),
+                golden.len(),
+            ),
+        });
+    }
+    // Conditional pushes may only append new names, never shadow the base.
+    for pushed in &cols.pushed {
+        if cols.base.contains(pushed) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: cols.line,
+                lint: "schema-drift",
+                message: format!("`{fn_name}` pushes duplicate column `{pushed}`"),
+            });
+        }
+    }
+    findings
+}
+
+/// `key=` names produced by the multi-line `key={}\n…` format strings in
+/// `file`, production code only. Only literals containing an escaped
+/// newline count, so one-line metadata strings (`"index={} delta={}"`)
+/// stay out of the key namespace.
+pub fn keys_produced(file: &SourceFile) -> BTreeSet<String> {
+    let mut keys = BTreeSet::new();
+    for (i, t) in file.toks().iter().enumerate() {
+        if t.kind != TokKind::Str || !t.text.contains("\\n") || file.in_tests(i) {
+            continue;
+        }
+        for segment in t.text.split("\\n") {
+            let Some((key, _)) = segment.split_once('=') else {
+                continue;
+            };
+            if !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                keys.insert(key.to_string());
+            }
+        }
+    }
+    keys
+}
+
+/// Keys a consumer file reads back via `.get("…")`.
+pub fn keys_consumed(file: &SourceFile) -> BTreeSet<String> {
+    let toks = file.toks();
+    let mut keys = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("get"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            keys.insert(toks[i + 3].text.clone());
+        }
+    }
+    keys
+}
+
+/// Diffs produced STATS keys against the committed golden key list and every
+/// consumer's read set.
+pub fn check_stats_keys(
+    producer_rel: &str,
+    produced: &BTreeSet<String>,
+    golden_rel: &str,
+    golden: &BTreeSet<String>,
+    consumers: &[(&str, BTreeSet<String>)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for key in produced.difference(golden) {
+        findings.push(Finding {
+            file: producer_rel.to_string(),
+            line: 1,
+            lint: "schema-drift",
+            message: format!(
+                "serve formatters produce key `{key}` missing from {golden_rel} — \
+                 regenerate the golden key list"
+            ),
+        });
+    }
+    for key in golden.difference(produced) {
+        findings.push(Finding {
+            file: producer_rel.to_string(),
+            line: 1,
+            lint: "schema-drift",
+            message: format!("{golden_rel} lists key `{key}` no formatter produces"),
+        });
+    }
+    for (consumer_rel, consumed) in consumers {
+        for key in consumed.iter() {
+            if !produced.contains(key) {
+                findings.push(Finding {
+                    file: (*consumer_rel).to_string(),
+                    line: 1,
+                    lint: "schema-drift",
+                    message: format!(
+                        "consumer reads key `{key}` that {producer_rel} never produces"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXPORTER: &str = r#"
+        pub fn to_table(&self) -> ReportTable {
+            let mut headers = vec!["workload", "pe_rows", "latency_ms"];
+            if self.delta {
+                headers.push("delta_speedup");
+            }
+            ReportTable::new(headers)
+        }
+    "#;
+
+    #[test]
+    fn columns_extracted_with_conditional_pushes() {
+        let file = SourceFile::parse("dse.rs", EXPORTER);
+        let cols = table_columns(&file, "to_table").expect("extracted");
+        assert_eq!(cols.base, ["workload", "pe_rows", "latency_ms"]);
+        assert_eq!(cols.pushed, ["delta_speedup"]);
+    }
+
+    #[test]
+    fn matching_golden_is_clean_and_drift_is_flagged() {
+        let file = SourceFile::parse("dse.rs", EXPORTER);
+        let cols = table_columns(&file, "to_table").unwrap();
+        let clean = check_table_against_golden(
+            "dse.rs",
+            "to_table",
+            &cols,
+            "g.csv",
+            "workload,pe_rows,latency_ms",
+        );
+        assert!(clean.is_empty(), "{clean:?}");
+        let renamed = check_table_against_golden(
+            "dse.rs",
+            "to_table",
+            &cols,
+            "g.csv",
+            "workload,pe_cols,latency_ms",
+        );
+        assert_eq!(renamed.len(), 1);
+        assert!(renamed[0].message.contains("pe_rows"));
+        let added =
+            check_table_against_golden("dse.rs", "to_table", &cols, "g.csv", "workload,pe_rows");
+        assert_eq!(added.len(), 1, "{added:?}");
+        assert!(added[0].message.contains("exporter adds"));
+    }
+
+    #[test]
+    fn stats_keys_from_format_strings_and_consumers() {
+        let producer = SourceFile::parse(
+            "serve.rs",
+            "fn stats() -> String { format!(\"requests_total={}\\ncache_hits={}\", a, b) }\n\
+             fn meta() -> String { format!(\"index={} delta={}\", i, d) }",
+        );
+        let produced = keys_produced(&producer);
+        assert_eq!(
+            produced.iter().map(String::as_str).collect::<Vec<_>>(),
+            ["cache_hits", "requests_total"]
+        );
+        let consumer = SourceFile::parse(
+            "it.rs",
+            "fn t(m: &Map) { m.get(\"cache_hits\"); m.get(\"bogus_key\"); }",
+        );
+        let consumed = keys_consumed(&consumer);
+        let golden: BTreeSet<String> = produced.clone();
+        let findings = check_stats_keys(
+            "serve.rs",
+            &produced,
+            "g.txt",
+            &golden,
+            &[("it.rs", consumed)],
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("bogus_key"));
+    }
+
+    #[test]
+    fn golden_key_drift_both_directions() {
+        let produced: BTreeSet<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let golden: BTreeSet<String> = ["b", "c"].iter().map(|s| s.to_string()).collect();
+        let findings = check_stats_keys("serve.rs", &produced, "g.txt", &golden, &[]);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains('a'));
+        assert!(findings[1].message.contains('c'));
+    }
+}

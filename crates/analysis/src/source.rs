@@ -5,7 +5,16 @@ use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
 use std::ops::Range;
 
 /// The annotation kinds `// lint:allow(<lint>): <reason>` may name.
-pub const ALLOW_LINTS: &[&str] = &["hash-iter", "wall-clock", "panic"];
+/// `lock-order`, `schema-drift`, and `taint-coverage` findings are
+/// deliberately not suppressible.
+pub const ALLOW_LINTS: &[&str] = &[
+    "hash-iter",
+    "wall-clock",
+    "panic",
+    "unseeded-rng",
+    "unit-mismatch",
+    "unit-missing",
+];
 
 /// One reported defect. Sorted by file then line for stable output.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -42,6 +51,11 @@ pub struct FnItem {
     pub name: String,
     pub body: Range<usize>,
     pub line: usize,
+    /// Token index of the `fn` keyword (the signature start).
+    pub fn_tok: usize,
+    /// Whether the item is `pub` (bare `pub` only; `pub(crate)` and friends
+    /// count as private for the unit-annotation audit).
+    pub is_pub: bool,
 }
 
 /// One lexed file with everything the passes pattern-match over.
@@ -154,6 +168,8 @@ fn functions(toks: &[Tok]) -> Vec<FnItem> {
                 name: name_tok.text.clone(),
                 body: open..close + 1,
                 line: name_tok.line,
+                fn_tok: i,
+                is_pub: i >= 1 && toks[i - 1].is_ident("pub"),
             });
         }
     }
@@ -203,21 +219,21 @@ fn test_mod_ranges(toks: &[Tok]) -> Vec<Range<usize>> {
     ranges
 }
 
-/// Parses `lint:allow(<lint>): <reason>` out of the comment stream. A reason
-/// may continue across directly-consecutive comment lines; an annotation
-/// with an unknown lint name or an empty reason is a (non-suppressible)
-/// `annotation` finding.
+/// Parses `lint:allow(<lint>): <reason>` out of the comment stream. The
+/// directive must open the comment (prose *mentioning* the syntax, like this
+/// sentence, is not an annotation). A reason may continue across
+/// directly-consecutive comment lines; an annotation with an unknown lint
+/// name or an empty reason is a (non-suppressible) `annotation` finding.
 fn parse_allows(rel: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Finding>) {
     let mut allows: Vec<Allow> = Vec::new();
     let mut malformed = Vec::new();
     let mut idx = 0;
     while idx < comments.len() {
         let comment = &comments[idx];
-        let Some(at) = comment.text.find("lint:allow(") else {
+        let Some(rest) = comment.text.trim_start().strip_prefix("lint:allow(") else {
             idx += 1;
             continue;
         };
-        let rest = &comment.text[at + "lint:allow(".len()..];
         let Some((lint, after)) = rest.split_once(')') else {
             malformed.push(Finding {
                 file: rel.to_string(),
@@ -245,7 +261,7 @@ fn parse_allows(rel: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Finding>) {
         let mut last_line = comment.line;
         // Swallow the continuation lines of a multi-line reason.
         while let Some(next) = comments.get(idx + 1) {
-            if next.line != last_line + 1 || next.text.contains("lint:allow(") {
+            if next.line != last_line + 1 || next.text.trim_start().starts_with("lint:allow(") {
                 break;
             }
             reason.push(' ');

@@ -1,0 +1,234 @@
+//! Workspace-wide symbol index: every `fn` item across the loaded files,
+//! attributed to its `impl` type where one encloses it and to its lexically
+//! enclosing function when it is a nested local `fn`.
+//!
+//! The index is the substrate the call graph resolves against. It stays at
+//! the lexer's altitude on purpose: names and brace ranges, no types beyond
+//! the `impl` header's last path segment. Where that is ambiguous the call
+//! graph falls back to every same-name candidate, which is conservative for
+//! all downstream passes (reachability can only over-approximate).
+
+use crate::lexer::TokKind;
+use crate::source::{matching_brace, SourceFile};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// One function symbol: `(file, fn index)` plus resolution metadata.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Index into the file slice the index was built over.
+    pub file: usize,
+    /// Index into that file's `SourceFile::fns`.
+    pub fn_idx: usize,
+    pub name: String,
+    /// Last path segment of the enclosing `impl` header's self type
+    /// (`impl Trait for Type` attributes to `Type`).
+    pub self_type: Option<String>,
+    /// Symbol index of the lexically enclosing function for nested local
+    /// `fn` items; calls inside the parent prefer these over same-name
+    /// items elsewhere (shadowing).
+    pub parent_fn: Option<usize>,
+    /// Defined inside a `#[cfg(test)]` / `mod tests` region.
+    pub is_test: bool,
+}
+
+/// Name-keyed lookup over every function in the analyzed file set.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    pub syms: Vec<FnSym>,
+    /// Production (non-test) symbols by bare name.
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Production symbols by `(self type, method name)`.
+    by_type_method: BTreeMap<(String, String), Vec<usize>>,
+}
+
+impl SymbolIndex {
+    pub fn build(files: &[SourceFile]) -> SymbolIndex {
+        let mut index = SymbolIndex::default();
+        for (fi, file) in files.iter().enumerate() {
+            let impls = impl_ranges(file);
+            for (gi, func) in file.fns.iter().enumerate() {
+                let self_type = impls
+                    .iter()
+                    .filter(|(range, _)| range.contains(&func.body.start))
+                    .min_by_key(|(range, _)| range.end - range.start)
+                    .map(|(_, ty)| ty.clone());
+                index.syms.push(FnSym {
+                    file: fi,
+                    fn_idx: gi,
+                    name: func.name.clone(),
+                    self_type,
+                    parent_fn: None,
+                    is_test: file.in_tests(func.body.start),
+                });
+            }
+        }
+        // Nested local fns: the parent is the smallest enclosing body in the
+        // same file. Symbols are pushed in file order, so a linear scan per
+        // file suffices.
+        let parents: Vec<Option<usize>> = index
+            .syms
+            .iter()
+            .map(|sym| {
+                let body = &files[sym.file].fns[sym.fn_idx].body;
+                index
+                    .syms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, other)| {
+                        other.file == sym.file && {
+                            let ob = &files[other.file].fns[other.fn_idx].body;
+                            ob.start < body.start && body.end <= ob.end
+                        }
+                    })
+                    .min_by_key(|(_, other)| {
+                        let ob = &files[other.file].fns[other.fn_idx].body;
+                        ob.end - ob.start
+                    })
+                    .map(|(si, _)| si)
+            })
+            .collect();
+        for (sym, parent) in index.syms.iter_mut().zip(parents) {
+            sym.parent_fn = parent;
+        }
+        for (si, sym) in index.syms.iter().enumerate() {
+            if sym.is_test {
+                continue;
+            }
+            index.by_name.entry(sym.name.clone()).or_default().push(si);
+            if let Some(ty) = &sym.self_type {
+                index
+                    .by_type_method
+                    .entry((ty.clone(), sym.name.clone()))
+                    .or_default()
+                    .push(si);
+            }
+        }
+        index
+    }
+
+    /// All production symbols with the given bare name.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Production symbols for `Type::method`.
+    pub fn by_type_method(&self, ty: &str, method: &str) -> &[usize] {
+        self.by_type_method
+            .get(&(ty.to_string(), method.to_string()))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The nested local fn named `name` defined directly inside `caller`,
+    /// if any — local definitions shadow the workspace-wide namespace.
+    pub fn local_fn(&self, caller: usize, name: &str) -> Option<usize> {
+        self.syms
+            .iter()
+            .position(|s| s.parent_fn == Some(caller) && s.name == name)
+    }
+}
+
+/// `(body token range, self-type last segment)` for every `impl` block.
+/// Handles `impl Foo`, `impl<T> Foo<T>`, `impl Trait for Foo`, and stops at
+/// a `where` clause; trait-object and primitive impls resolve to their last
+/// identifier segment, which is all the call graph keys on.
+fn impl_ranges(file: &SourceFile) -> Vec<(Range<usize>, String)> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("impl") {
+            continue;
+        }
+        let mut angle = 0i64;
+        let mut candidate: Option<String> = None;
+        let mut open = None;
+        for (j, t) in toks.iter().enumerate().skip(i + 1) {
+            match t.kind {
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') => angle -= 1,
+                TokKind::Punct('{') if angle <= 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') if angle <= 0 => break,
+                TokKind::Ident if angle <= 0 => {
+                    if t.is_ident("where") {
+                        break;
+                    }
+                    if t.is_ident("for") {
+                        candidate = None;
+                    } else {
+                        candidate = Some(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            if j > i + 128 {
+                break;
+            }
+        }
+        if let (Some(open), Some(ty)) = (open, candidate) {
+            out.push((open..matching_brace(toks, open) + 1, ty));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_of(sources: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolIndex) {
+        let files: Vec<SourceFile> = sources
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src))
+            .collect();
+        let index = SymbolIndex::build(&files);
+        (files, index)
+    }
+
+    #[test]
+    fn impl_blocks_attribute_methods_including_trait_impls() {
+        let (_, index) = index_of(&[(
+            "a.rs",
+            r#"
+            struct Foo;
+            impl Foo { fn direct(&self) {} }
+            trait Run { fn go(&self); }
+            impl Run for Foo { fn go(&self) {} }
+            impl<T: Clone> Wrapper<T> { fn generic(&self) {} }
+            "#,
+        )]);
+        assert_eq!(index.by_type_method("Foo", "direct").len(), 1);
+        assert_eq!(
+            index.by_type_method("Foo", "go").len(),
+            1,
+            "`impl Trait for Type` must attribute to Type, not Trait"
+        );
+        assert!(index.by_type_method("Run", "go").is_empty());
+        assert_eq!(index.by_type_method("Wrapper", "generic").len(), 1);
+    }
+
+    #[test]
+    fn nested_local_fns_get_a_parent() {
+        let (_, index) = index_of(&[(
+            "a.rs",
+            "fn outer() { fn helper() {} helper(); }\nfn helper() {}",
+        )]);
+        let outer = index.by_name("outer")[0];
+        let local = index.local_fn(outer, "helper").expect("local fn indexed");
+        assert_eq!(index.syms[local].parent_fn, Some(outer));
+        assert_eq!(index.by_name("helper").len(), 2);
+    }
+
+    #[test]
+    fn test_mod_fns_are_indexed_but_not_resolvable() {
+        let (_, index) = index_of(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests { fn helper() {} }\nfn real() {}",
+        )]);
+        assert!(index.by_name("helper").is_empty());
+        assert_eq!(index.by_name("real").len(), 1);
+        assert!(index.syms.iter().any(|s| s.name == "helper" && s.is_test));
+    }
+}

@@ -1,0 +1,442 @@
+//! Units-of-measure lint over the cost models.
+//!
+//! The roofline/energy/area models mix cycles, nanoseconds, picojoules,
+//! millijoules, mm², bytes, and GHz across many files. This pass infers a
+//! unit for every name from two places and flags quantities of *different*
+//! units that are added, subtracted, or compared:
+//!
+//! * **Name conventions** — a trailing `_<unit>` segment: `_cycles`, `_ns`,
+//!   `_ms`, `_s`, `_pj`, `_mj`, `_mw`, `_mm2`, `_bytes`, `_kib`, `_mib`,
+//!   `_ghz`, `_gops`, `_volts` (a bare `cycles` / `bytes` name counts too).
+//!   Different scales of one dimension (pJ vs mJ, bytes vs KiB, ns vs
+//!   cycles) are deliberately *distinct* units: adding them unconverted is
+//!   exactly the bug class this pass exists for.
+//! * **`// unit: <unit>` annotations** — placed on the line(s) above a
+//!   struct field or `fn`, they bind that field/function name to a unit
+//!   explicitly, covering names the suffix convention cannot (`r`, `stall`,
+//!   lookup tables).
+//!
+//! Two findings:
+//!
+//! * `unit-mismatch` — `a + b`, `a - b`, `a < b`, … (incl. `+=`, `-=`, and
+//!   `==`/`!=`) where both operands carry different known units.
+//! * `unit-missing` — a `pub fn` whose body just returns one unit-carrying
+//!   name but whose own name declares no unit and has no `// unit:`
+//!   annotation: callers lose the unit at the API boundary.
+//!
+//! Multiplication and division are unconstrained (they *derive* units —
+//! `bytes / cycle`, `pJ × count` — which this lattice does not track).
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::{Finding, SourceFile};
+use std::collections::BTreeMap;
+
+/// The unit lattice. One variant per (dimension, scale) pair that appears in
+/// the models; `Dimensionless` is represented by absence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    Cycles,
+    Ns,
+    Ms,
+    Seconds,
+    Pj,
+    Mj,
+    Mw,
+    Mm2,
+    Bytes,
+    Kib,
+    Mib,
+    Ghz,
+    Gops,
+    Volts,
+}
+
+/// `(suffix, unit)` — checked against the last `_`-separated segment.
+const SUFFIXES: &[(&str, Unit)] = &[
+    ("cycles", Unit::Cycles),
+    ("ns", Unit::Ns),
+    ("ms", Unit::Ms),
+    ("pj", Unit::Pj),
+    ("mj", Unit::Mj),
+    ("mw", Unit::Mw),
+    ("mm2", Unit::Mm2),
+    ("bytes", Unit::Bytes),
+    ("kib", Unit::Kib),
+    ("mib", Unit::Mib),
+    ("ghz", Unit::Ghz),
+    ("gops", Unit::Gops),
+    ("volts", Unit::Volts),
+];
+
+impl Unit {
+    pub fn name(self) -> &'static str {
+        SUFFIXES
+            .iter()
+            .find(|(_, u)| *u == self)
+            .map(|(s, _)| *s)
+            .unwrap_or("s")
+    }
+
+    fn parse(name: &str) -> Option<Unit> {
+        if name == "s" {
+            return Some(Unit::Seconds);
+        }
+        SUFFIXES.iter().find(|(s, _)| *s == name).map(|(_, u)| *u)
+    }
+}
+
+/// The unit a bare name carries by convention, if any.
+pub fn unit_of_name(name: &str) -> Option<Unit> {
+    let segment = name.rsplit('_').next()?;
+    // A bare one-segment name only counts for the unambiguous spellings
+    // (`cycles`, `bytes`); a trailing `_s` or `_ms` segment always counts.
+    if segment == name && !matches!(segment, "cycles" | "bytes") {
+        return None;
+    }
+    // `_s` only as an explicit suffix (`time_s`), never a bare `s`.
+    if segment == name {
+        return Unit::parse(segment).filter(|u| !matches!(u, Unit::Seconds));
+    }
+    Unit::parse(segment)
+}
+
+/// Per-file `// unit:` annotation table: bound name → unit.
+pub struct UnitAnnotations {
+    pub by_name: BTreeMap<String, Unit>,
+    pub malformed: Vec<Finding>,
+}
+
+/// Parses `// unit: <unit>` comments and binds each to the next declared
+/// name at or below it: the `fn` name or the `field:`-style identifier.
+pub fn parse_annotations(file: &SourceFile) -> UnitAnnotations {
+    let mut anns = UnitAnnotations {
+        by_name: BTreeMap::new(),
+        malformed: Vec::new(),
+    };
+    let toks = file.toks();
+    for comment in &file.lexed.comments {
+        let trimmed = comment.text.trim();
+        let Some(rest) = trimmed.strip_prefix("unit:") else {
+            continue;
+        };
+        let unit_name = rest.trim();
+        let Some(unit) = Unit::parse(unit_name) else {
+            anns.malformed.push(Finding {
+                file: file.rel.clone(),
+                line: comment.line,
+                lint: "annotation",
+                message: format!(
+                    "`// unit: {unit_name}` names no known unit (expected one of: {})",
+                    SUFFIXES
+                        .iter()
+                        .map(|(s, _)| *s)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+            continue;
+        };
+        match annotated_name(toks, comment.line) {
+            Some(name) => {
+                anns.by_name.insert(name, unit);
+            }
+            None => anns.malformed.push(Finding {
+                file: file.rel.clone(),
+                line: comment.line,
+                lint: "annotation",
+                message: "`// unit:` annotation binds to no field or fn declaration".to_string(),
+            }),
+        }
+    }
+    anns
+}
+
+/// The declared name the annotation on `line` binds to: the first `fn name`
+/// or `name :`-shaped identifier on a later line (within a few lines).
+fn annotated_name(toks: &[Tok], line: usize) -> Option<String> {
+    let start = toks.iter().position(|t| t.line > line)?;
+    for (j, t) in toks.iter().enumerate().skip(start) {
+        if t.line > line + 4 {
+            return None;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.is_ident("fn") {
+            return toks.get(j + 1).map(|n| n.text.clone());
+        }
+        if t.is_ident("pub") {
+            continue;
+        }
+        // `name : Type` (not `name ::`)
+        if toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            return Some(t.text.clone());
+        }
+    }
+    None
+}
+
+/// The unit of the name ending the identifier chain just before token `op_i`
+/// (e.g. `self . total_pj` → `total_pj`), or just after it. Annotations win
+/// over the suffix convention.
+fn operand_unit_before(
+    toks: &[Tok],
+    op_i: usize,
+    anns: &BTreeMap<String, Unit>,
+) -> Option<(String, Unit)> {
+    let t = toks.get(op_i.checked_sub(1)?)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    lookup(&t.text, anns).map(|u| (t.text.clone(), u))
+}
+
+fn operand_unit_after(
+    toks: &[Tok],
+    mut j: usize,
+    anns: &BTreeMap<String, Unit>,
+) -> Option<(String, Unit)> {
+    // Walk a `self . a . b`-style chain and take its last identifier, as
+    // long as the chain is plain idents and dots.
+    let mut last: Option<String> = None;
+    loop {
+        let t = toks.get(j)?;
+        if t.kind != TokKind::Ident {
+            break;
+        }
+        last = Some(t.text.clone());
+        if toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && !toks.get(j + 3).is_some_and(|t| t.is_punct('('))
+        {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    let name = last?;
+    lookup(&name, anns).map(|u| (name, u))
+}
+
+fn lookup(name: &str, anns: &BTreeMap<String, Unit>) -> Option<Unit> {
+    anns.get(name).copied().or_else(|| unit_of_name(name))
+}
+
+/// Runs the units pass over one file.
+pub fn units_pass(file: &SourceFile) -> Vec<Finding> {
+    let anns = parse_annotations(file);
+    let mut findings = anns.malformed.clone();
+    for func in file.production_fns() {
+        mismatches_in(file, func.body.clone(), &anns.by_name, &mut findings);
+    }
+    unannotated_pub_fns(file, &anns.by_name, &mut findings);
+    findings
+}
+
+/// Operator shapes that demand unit agreement: the token chars after the
+/// first operator char, e.g. `<` + `=` for `<=`. `..` ranges and generics
+/// are excluded by requiring ident operands on both sides.
+fn comparison_len(toks: &[Tok], i: usize) -> Option<usize> {
+    match toks.get(i)?.kind {
+        TokKind::Punct('+') | TokKind::Punct('-') => {
+            // `+` / `-` / `+=` / `-=`; exclude `->`.
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('>')) {
+                None
+            } else if toks.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+                Some(2)
+            } else {
+                Some(1)
+            }
+        }
+        TokKind::Punct('<') | TokKind::Punct('>') => {
+            // `<` / `>` / `<=` / `>=`; exclude shifts `<<` / `>>`.
+            if toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_punct('<') || t.is_punct('>'))
+            {
+                None
+            } else if toks.get(i + 1).is_some_and(|t| t.is_punct('=')) {
+                Some(2)
+            } else {
+                Some(1)
+            }
+        }
+        TokKind::Punct('=') | TokKind::Punct('!') => {
+            // Only `==` / `!=`.
+            toks.get(i + 1)
+                .is_some_and(|t| t.is_punct('='))
+                .then_some(2)
+        }
+        _ => None,
+    }
+}
+
+fn mismatches_in(
+    file: &SourceFile,
+    body: std::ops::Range<usize>,
+    anns: &BTreeMap<String, Unit>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = file.toks();
+    for i in body {
+        let Some(op_len) = comparison_len(toks, i) else {
+            continue;
+        };
+        // `a == b` would double-report at the `=`+`=` pair; only fire on the
+        // first operator char.
+        if i >= 1 && comparison_len(toks, i - 1) == Some(2) {
+            continue;
+        }
+        let Some((lhs, lu)) = operand_unit_before(toks, i, anns) else {
+            continue;
+        };
+        let Some((rhs, ru)) = operand_unit_after(toks, i + op_len, anns) else {
+            continue;
+        };
+        if lu != ru {
+            let op: String = (0..op_len)
+                .filter_map(|k| match toks[i + k].kind {
+                    TokKind::Punct(c) => Some(c),
+                    _ => None,
+                })
+                .collect();
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line: toks[i].line,
+                lint: "unit-mismatch",
+                message: format!(
+                    "`{lhs} {op} {rhs}` mixes units {} and {} without conversion",
+                    lu.name(),
+                    ru.name()
+                ),
+            });
+        }
+    }
+}
+
+/// Flags `pub fn`s whose body is a bare unit-carrying name (`{ self.x_pj }`)
+/// but whose own name and annotations declare no unit.
+fn unannotated_pub_fns(
+    file: &SourceFile,
+    anns: &BTreeMap<String, Unit>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = file.toks();
+    for func in file.production_fns() {
+        if !func.is_pub || lookup(&func.name, anns).is_some() {
+            continue;
+        }
+        // Body tokens between the braces: `self . name` or `name`.
+        let inner: Vec<&Tok> = toks[func.body.start + 1..func.body.end.saturating_sub(1)]
+            .iter()
+            .collect();
+        let returned = match inner.as_slice() {
+            [a] if a.kind == TokKind::Ident => Some(&a.text),
+            [s, d, a] if s.is_ident("self") && d.is_punct('.') && a.kind == TokKind::Ident => {
+                Some(&a.text)
+            }
+            _ => None,
+        };
+        let Some(unit) = returned.and_then(|name| lookup(name, anns)) else {
+            continue;
+        };
+        findings.push(Finding {
+            file: file.rel.clone(),
+            line: func.line,
+            lint: "unit-missing",
+            message: format!(
+                "pub fn `{}` returns a quantity in {} but neither its name nor a `// unit:` \
+                 annotation says so",
+                func.name,
+                unit.name()
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        units_pass(&SourceFile::parse("x.rs", src))
+    }
+
+    #[test]
+    fn suffix_inference_and_bare_names() {
+        assert_eq!(unit_of_name("total_pj"), Some(Unit::Pj));
+        assert_eq!(unit_of_name("mean_latency_ms"), Some(Unit::Ms));
+        assert_eq!(unit_of_name("cycles"), Some(Unit::Cycles));
+        assert_eq!(unit_of_name("time_s"), Some(Unit::Seconds));
+        assert_eq!(unit_of_name("s"), None, "bare `s` is not a unit name");
+        assert_eq!(unit_of_name("rows"), None);
+        assert_eq!(unit_of_name("pe_rows"), None);
+    }
+
+    #[test]
+    fn cross_unit_addition_and_comparison_flagged() {
+        let findings = run("fn f(a_pj: f64, b_cycles: f64, c_pj: f64) -> f64 {\n\
+             let x = a_pj + b_cycles;\n\
+             if a_pj < b_cycles { return x; }\n\
+             a_pj + c_pj\n}");
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().all(|f| f.lint == "unit-mismatch"));
+        assert!(findings[0].message.contains("pj") && findings[0].message.contains("cycles"));
+    }
+
+    #[test]
+    fn compound_assignment_and_field_chains() {
+        let findings = run("struct S { total_mj: f64, leak_pj: f64 }\n\
+             impl S { fn add(&mut self, x_pj: f64) { self.total_mj += self.leak_pj; } }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("+="), "{findings:?}");
+    }
+
+    #[test]
+    fn annotations_override_and_malformed_is_reported() {
+        let findings = run(
+            "struct T {\n    // unit: cycles\n    stall: u64,\n    dram_cycles: u64,\n}\n\
+             fn ok(t: &T) -> u64 { t.stall + t.dram_cycles }\n\
+             // unit: parsecs\nfn bad() {}\n",
+        );
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, "annotation");
+        assert!(findings[0].message.contains("parsecs"));
+    }
+
+    #[test]
+    fn annotated_mismatch_is_flagged() {
+        let findings = run("struct T {\n    // unit: cycles\n    stall: u64,\n}\n\
+             fn f(t: &T, lat_ns: u64) -> u64 { t.stall + lat_ns }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, "unit-mismatch");
+    }
+
+    #[test]
+    fn pub_fn_unit_laundering_is_flagged() {
+        let findings = run("struct S { mac_pj: f64 }\n\
+             impl S {\n\
+                 pub fn mac_energy(&self) -> f64 { self.mac_pj }\n\
+                 pub fn mac_energy_pj(&self) -> f64 { self.mac_pj }\n\
+                 // unit: pj\n\
+                 pub fn per_op(&self) -> f64 { self.mac_pj }\n\
+             }");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].lint, "unit-missing");
+        assert!(findings[0].message.contains("mac_energy"));
+    }
+
+    #[test]
+    fn generics_shifts_and_ranges_do_not_trip() {
+        let findings = run(
+            "fn f(map: Vec<u64>, x_bytes: u64, n_cycles: u64) -> u64 {\n\
+             let v: Vec<u64> = Vec::new();\n\
+             let y = x_bytes << 2;\n\
+             for i in 0..x_bytes { }\n\
+             x_bytes * n_cycles\n}",
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

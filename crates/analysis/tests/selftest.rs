@@ -6,10 +6,20 @@ use spade_analysis::{analyze_files, analyze_tree, render_summary, Analysis, Pass
 use std::path::{Path, PathBuf};
 
 fn fixture(name: &str) -> Vec<String> {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("fixtures")
-        .join(name);
-    vec![path.to_string_lossy().into_owned()]
+    fixtures(&[name])
+}
+
+fn fixtures(names: &[&str]) -> Vec<String> {
+    names
+        .iter()
+        .map(|name| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("fixtures")
+                .join(name)
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect()
 }
 
 fn run(name: &str, pass: Pass) -> Analysis {
@@ -58,6 +68,64 @@ fn bad_determinism_fixture_flags_hash_iteration_and_wall_clock() {
     let by_lint = |lint: &str| analysis.findings.iter().filter(|f| f.lint == lint).count();
     assert_eq!(by_lint("hash-iter"), 3, "{:?}", analysis.findings);
     assert_eq!(by_lint("wall-clock"), 2, "{:?}", analysis.findings);
+    // Every finding carries its chain to the sink.
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .all(|f| f.message.contains("feeds `push_row`")),
+        "{:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn taint_chain_crosses_files_with_at_least_two_hops() {
+    let analysis = analyze_files(
+        &fixtures(&["taint_chain_bad_a.rs", "taint_chain_bad_b.rs"]),
+        &Pass::Determinism,
+    )
+    .expect("fixtures readable");
+    assert_eq!(analysis.findings.len(), 1, "{:?}", analysis.findings);
+    let f = &analysis.findings[0];
+    assert!(f.file.ends_with("taint_chain_bad_b.rs"), "{f:?}");
+    assert_eq!(f.lint, "hash-iter");
+    // The chain walks out of file B, through file A's collector, into the
+    // sink: `gather_values` → called by `collect_cells` → calls
+    // `write_report` → feeds `push_row` — two call hops before the sink.
+    for hop in [
+        "`gather_values`",
+        "called by `collect_cells`",
+        "calls `write_report`",
+        "feeds `push_row`",
+    ] {
+        assert!(f.message.contains(hop), "missing hop {hop}: {}", f.message);
+    }
+}
+
+#[test]
+fn taint_coverage_is_a_superset_of_the_legacy_determinism_list() {
+    use spade_analysis::source::SourceFile;
+    use spade_analysis::{callgraph::CallGraph, determinism, symbols::SymbolIndex};
+    let root = workspace_root();
+    let rels = spade_analysis::walk_workspace(&root).expect("workspace walkable");
+    let files: Vec<SourceFile> = rels
+        .iter()
+        .map(|rel| {
+            let src = std::fs::read_to_string(root.join(rel)).expect("listed file readable");
+            SourceFile::parse(rel, &src)
+        })
+        .collect();
+    let index = SymbolIndex::build(&files);
+    let graph = CallGraph::build(&files, &index);
+    let covered = determinism::covered_files(&files, &index, &graph);
+    for rel in spade_analysis::DETERMINISM_FILES {
+        assert!(
+            covered.contains(*rel),
+            "{rel} was in the hand-maintained determinism scope but taint analysis does \
+             not reach it from any sink"
+        );
+    }
 }
 
 #[test]
@@ -96,6 +164,109 @@ fn good_panic_fixture_is_clean() {
         analysis.findings
     );
     assert_eq!(analysis.suppressed, 1);
+}
+
+#[test]
+fn bad_units_fixture_flags_cross_unit_arithmetic_and_missing_annotations() {
+    let analysis = run("units_bad.rs", Pass::Units);
+    let by_lint = |lint: &str| analysis.findings.iter().filter(|f| f.lint == lint).count();
+    assert_eq!(by_lint("unit-mismatch"), 2, "{:?}", analysis.findings);
+    assert_eq!(by_lint("unit-missing"), 1, "{:?}", analysis.findings);
+    assert!(
+        analysis
+            .findings
+            .iter()
+            .any(|f| f.message.contains("pj") && f.message.contains("cycles")),
+        "the pj + cycles mix must name both units: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn good_units_fixture_is_clean() {
+    let analysis = run("units_good.rs", Pass::Units);
+    assert!(
+        analysis.findings.is_empty(),
+        "false positives: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn bad_schema_fixture_detects_golden_drift_and_duplicate_columns() {
+    let golden = fixtures(&["schema_golden.csv"]).remove(0);
+    let analysis =
+        analyze_files(&fixture("schema_bad.rs"), &Pass::Schema(golden)).expect("fixture readable");
+    let rendered: Vec<String> = analysis.findings.iter().map(|f| f.render()).collect();
+    assert_eq!(rendered.len(), 2, "{rendered:?}");
+    assert!(
+        rendered
+            .iter()
+            .any(|f| f.contains("exporter adds [rows_swept]")),
+        "added-column drift missing: {rendered:?}"
+    );
+    assert!(
+        rendered
+            .iter()
+            .any(|f| f.contains("duplicate column `pe_rows`")),
+        "duplicate push missing: {rendered:?}"
+    );
+}
+
+#[test]
+fn good_schema_fixture_is_clean() {
+    let golden = fixtures(&["schema_golden.csv"]).remove(0);
+    let analysis =
+        analyze_files(&fixture("schema_good.rs"), &Pass::Schema(golden)).expect("fixture readable");
+    assert!(
+        analysis.findings.is_empty(),
+        "false positives: {:?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn json_rendering_escapes_payloads_and_reports_counts() {
+    let analysis = run("units_bad.rs", Pass::Units);
+    let json = spade_analysis::render_json(&analysis);
+    assert!(json.contains("\"findings\": ["), "{json}");
+    assert!(json.contains("\"lint\": \"unit-mismatch\""), "{json}");
+    // Messages quote identifiers in backticks and units verbatim; the
+    // escaper must keep the output a single well-formed JSON document
+    // (no raw quotes or newlines inside string values).
+    for line in json.lines() {
+        let mut escaped = false;
+        let mut in_str = false;
+        for c in line.chars() {
+            match c {
+                '\\' if in_str => escaped = !escaped,
+                '"' if !escaped => in_str = !in_str,
+                _ => escaped = false,
+            }
+        }
+        assert!(!in_str, "unterminated string in JSON line: {line}");
+    }
+    assert!(
+        json.contains(&format!("\"files_analyzed\": {}", analysis.files_analyzed)),
+        "{json}"
+    );
+}
+
+#[test]
+fn missing_listed_file_is_a_hard_error_not_a_silent_skip() {
+    // A root whose `crates/` exists but holds none of the listed files must
+    // refuse to run rather than quietly analyzing nothing.
+    let empty = workspace_root().join("target/selftest-empty-ws");
+    std::fs::create_dir_all(empty.join("crates")).expect("temp workspace creatable");
+    let err = analyze_tree(&empty).expect_err("stale file lists must not pass silently");
+    assert!(
+        err.contains("missing from the workspace walk"),
+        "wrong error: {err}"
+    );
+    assert!(
+        err.contains("crates/bench/src/serve.rs"),
+        "wrong error: {err}"
+    );
 }
 
 #[test]

@@ -58,6 +58,7 @@ fn cache_walk_misses(cache_kib: u64, cache_line: u64, inputs: usize, c: u64, pas
 pub struct PointAccModel {
     config: SpadeConfig,
     cache_kib: u64,
+    // unit: bytes
     cache_line: u64,
     energy: EnergyModel,
 }

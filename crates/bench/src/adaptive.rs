@@ -176,6 +176,7 @@ struct ModelTables {
     /// Exact gather/scatter bank-conflict stall `r·(lanes − banks)/lanes`
     /// per banking class — banking stalls do not depend on the dataflow
     /// schedule.
+    // unit: cycles
     stall: Vec<Vec<u64>>,
     /// Exact DRAM-interface cycles `ceil(dram_bytes / bpc)` per DRAM class.
     dram_cycles: Vec<Vec<u64>>,

@@ -22,6 +22,7 @@ pub struct RuleGenResult {
     /// The generated rule book.
     pub rules: RuleBook,
     /// Cycles the streaming pipeline needs to produce it.
+    // unit: cycles
     pub cycles: u64,
 }
 

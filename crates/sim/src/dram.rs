@@ -60,6 +60,7 @@ impl DramModel {
 
     /// Records a sequential (streaming) transfer of `bytes`.
     /// Returns the cycles this transfer occupies the DRAM interface.
+    // unit: cycles
     pub fn read_sequential(&mut self, bytes: u64) -> u64 {
         let rows = bytes.div_ceil(self.row_bytes);
         let cycles =
@@ -73,6 +74,7 @@ impl DramModel {
 
     /// Records `count` random transfers of `granule` bytes each (e.g. cache
     /// line fills). Most of them pay a row activation.
+    // unit: cycles
     pub fn read_random(&mut self, count: u64, granule: u64) -> u64 {
         let bytes = count * granule;
         let misses = (count as f64 * self.random_row_miss_rate).round() as u64;
@@ -86,6 +88,7 @@ impl DramModel {
     }
 
     /// Records a sequential write (same cost model as a sequential read).
+    // unit: cycles
     pub fn write_sequential(&mut self, bytes: u64) -> u64 {
         self.read_sequential(bytes)
     }
